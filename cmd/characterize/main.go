@@ -1,0 +1,72 @@
+// Command characterize regenerates the paper's Figures 1–3: the
+// distribution of set-level capacity demand (block_required bucketed into
+// M ranges) over consecutive sampling intervals, for a single benchmark.
+//
+// Usage:
+//
+//	characterize -bench ammp                    # Figure 1, scaled run
+//	characterize -bench vortex -full            # paper-scale: 1000 x 100K
+//	characterize -bench applu -csv out.csv      # per-interval CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snug/internal/config"
+	"snug/internal/experiments"
+	"snug/internal/report"
+)
+
+func main() {
+	bench := flag.String("bench", "ammp", "benchmark to characterize (see snugsim -list)")
+	intervals := flag.Int("intervals", 200, "number of sampling intervals")
+	accesses := flag.Int64("accesses", 20_000, "L2 accesses per interval")
+	full := flag.Bool("full", false, "paper-scale methodology: 1000 intervals x 100K accesses on the Table 4 system")
+	testscale := flag.Bool("testscale", true, "use the 64-set test system (ignored with -full)")
+	csvPath := flag.String("csv", "", "also write the per-interval series as CSV")
+	flag.Parse()
+
+	opt := experiments.CharacterizeOptions{
+		Benchmark:           *bench,
+		Cfg:                 config.Default(),
+		Intervals:           *intervals,
+		AccessesPerInterval: *accesses,
+	}
+	if *full {
+		opt.Intervals = 1000
+		opt.AccessesPerInterval = 100_000
+	} else if *testscale {
+		opt.Cfg = config.TestScale()
+	}
+
+	chz, err := experiments.Characterize(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+
+	title := fmt.Sprintf("Set-level capacity demand distribution: %s", *bench)
+	if fig := experiments.FigureFor(*bench); fig != 0 {
+		title = fmt.Sprintf("Figure %d — %s", fig, title)
+	}
+	if err := report.WriteCharacterization(os.Stdout, title, chz); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteCharacterizationCSV(f, chz); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

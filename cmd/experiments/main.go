@@ -1,0 +1,129 @@
+// Command experiments runs the paper's full evaluation (Figures 9, 10 and
+// 11 over the 21 Table 8 workload combinations) and the SNUG ablation
+// sweep, printing figure-shaped tables and optional CSV.
+//
+// Usage:
+//
+//	experiments                         # all classes, all three figures
+//	experiments -classes C1,C5          # subset
+//	experiments -cycles 4000000 -par 4  # longer runs, more workers
+//	experiments -ablation               # SNUG design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/experiments"
+	"snug/internal/metrics"
+	"snug/internal/report"
+)
+
+func main() {
+	cycles := flag.Int64("cycles", 2_000_000, "cycles per simulation")
+	par := flag.Int("par", 2, "concurrent simulations")
+	classes := flag.String("classes", "", "comma-separated class subset (C1..C6); empty = all")
+	csvDir := flag.String("csv", "", "directory for CSV output (empty = none)")
+	ablation := flag.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
+	fullScale := flag.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
+	flag.Parse()
+
+	cfg := config.TestScale()
+	if *fullScale {
+		cfg = config.Scaled(50)
+	}
+
+	if *ablation {
+		runAblation(cfg, *cycles)
+		return
+	}
+
+	var cls []string
+	if *classes != "" {
+		cls = strings.Split(*classes, ",")
+	}
+	ev, err := experiments.Evaluate(experiments.Options{
+		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	figs := []struct {
+		num    int
+		metric metrics.MetricKind
+		title  string
+	}{
+		{9, metrics.MetricThroughput, "Figure 9 — Throughput normalized to L2P"},
+		{10, metrics.MetricAWS, "Figure 10 — Average Weighted Speedup"},
+		{11, metrics.MetricFS, "Figure 11 — Fair Speedup"},
+	}
+	for _, f := range figs {
+		cs := ev.Figure(f.metric)
+		if err := report.WriteFigure(os.Stdout, f.title, cs); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			path := fmt.Sprintf("%s/figure%d.csv", *csvDir, f.num)
+			w, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := report.WriteFigureCSV(w, cs); err != nil {
+				fatal(err)
+			}
+			w.Close()
+			fmt.Println("wrote", path)
+		}
+	}
+	fmt.Println("Per-combination detail (normalized throughput):")
+	if err := report.WriteCombos(os.Stdout, ev); err != nil {
+		fatal(err)
+	}
+}
+
+// runAblation compares SNUG variants on the C1 stress tests plus one mixed
+// combo per class — the design choices DESIGN.md calls out.
+func runAblation(base config.System, cycles int64) {
+	bench := []string{"ammp", "parser", "swim", "mesa"}
+	type variant struct {
+		name string
+		mut  func(*config.System)
+	}
+	variants := []variant{
+		{"SNUG (paper config)", func(c *config.System) {}},
+		{"no index-bit flipping", func(c *config.System) { c.SNUG.IndexFlip = false }},
+		{"keep stranded CC blocks", func(c *config.System) { c.SNUG.DropOnFlip = false }},
+		{"p=4 (threshold 1/4)", func(c *config.System) { c.SNUG.PDivisor = 4 }},
+		{"p=16 (threshold 1/16)", func(c *config.System) { c.SNUG.PDivisor = 16 }},
+		{"k=3 counter", func(c *config.System) { c.SNUG.CounterBits = 3 }},
+		{"shadow 8-way", func(c *config.System) { c.SNUG.ShadowWays = 8 }},
+		{"stage I x2", func(c *config.System) { c.SNUG.StageICycles *= 2 }},
+	}
+	baseline, err := cmp.RunWorkload(base, "L2P", bench, cycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("SNUG ablations on %v (normalized throughput vs L2P %.4f):\n", bench, baseline.Throughput())
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		r, err := cmp.RunWorkload(cfg, "SNUG", bench, cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-26s %.4f  (spills=%d case2=%d retrHits=%d)\n",
+			v.name, r.Throughput()/baseline.Throughput(),
+			r.Report.Spills, 0, r.Report.RetrievalHits)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

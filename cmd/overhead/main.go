@@ -1,0 +1,63 @@
+// Command overhead regenerates the paper's storage-overhead analysis
+// (§3.4): the Table 2 field-length breakdown and Formula (6) result for the
+// base configuration, and the Table 3 grid over address widths and cache
+// line sizes.
+//
+// Usage:
+//
+//	overhead          # Table 2 breakdown (expect 3.9%)
+//	overhead -table3  # Table 3 grid (expect 3.9 / 5.8 / 2.1 / 3.1 %)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snug/internal/core"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "print the Table 3 grid")
+	flag.Parse()
+
+	if *table3 {
+		cells, err := core.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 3 — SNUG storage overhead by address width and line size")
+		fmt.Printf("%-14s %-22s %s\n", "line size", "32-bit address", "64-bit address (44 used)")
+		for _, blk := range []int{64, 128} {
+			row := fmt.Sprintf("%dB/line", blk)
+			var cols []string
+			for _, c := range cells {
+				if c.BlockBytes == blk {
+					cols = append(cols, fmt.Sprintf("%.1f%%", c.Percent))
+				}
+			}
+			fmt.Printf("%-14s %-22s %s\n", row, cols[0], cols[1])
+		}
+		return
+	}
+
+	p := core.DefaultOverheadParams()
+	o, err := core.ComputeOverhead(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 2 — SNUG storage fields (1 MB, 16-way, 64 B lines, 32-bit addresses)")
+	fmt.Printf("  sets                    %d\n", o.Sets)
+	fmt.Printf("  tag field               %d bits\n", o.TagBits)
+	fmt.Printf("  LRU field               %d bits\n", o.LRUBits)
+	fmt.Printf("  L2 line (tag+v+d+CC+f+LRU+data) %d bits\n", o.LineBits)
+	fmt.Printf("  L2 set                  %d bits\n", o.L2SetBits)
+	fmt.Printf("  shadow entry (tag+v+LRU) %d bits\n", o.ShadowTagBits)
+	fmt.Printf("  shadow set (+k-bit counter, mod-p, G/T) %d bits\n", o.ShadowSetBits)
+	fmt.Printf("  storage overhead (Formula 6) = %.1f%%\n", o.Percent())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overhead:", err)
+	os.Exit(1)
+}

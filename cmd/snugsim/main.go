@@ -1,0 +1,110 @@
+// Command snugsim runs one quad-core workload combination under one LLC
+// management scheme and reports per-core and scheme-level statistics.
+//
+// Usage:
+//
+//	snugsim -scheme SNUG -workload ammp,parser,swim,mesa -cycles 2000000
+//	snugsim -scheme CC -ccpct 75 -workload 4xammp
+//	snugsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/trace"
+	"snug/internal/workloads"
+)
+
+func main() {
+	scheme := flag.String("scheme", "SNUG", "L2 scheme: L2P, L2S, CC, DSR or SNUG")
+	workload := flag.String("workload", "ammp,parser,swim,mesa",
+		"comma-separated benchmark per core, a Table 8 combo name, or 4x<bench>")
+	cycles := flag.Int64("cycles", 5_000_000, "cycles to simulate")
+	ccpct := flag.Int("ccpct", 100, "CC spill probability in percent (0,25,50,75,100)")
+	scale := flag.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
+	seed := flag.Uint64("seed", 0, "override simulation seed (0 = default)")
+	list := flag.Bool("list", false, "list benchmarks, combos and schemes, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(trace.Names(), " "))
+		fmt.Println("schemes:   ", strings.Join(cmp.SchemeNames(), " "))
+		fmt.Println("combos (Table 8):")
+		for _, c := range workloads.Table8() {
+			fmt.Printf("  %-3s %s\n", c.Class, c.Name)
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *scale {
+		cfg = config.TestScale()
+	}
+	cfg.CC.SpillPercent = *ccpct
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	bench, err := resolveWorkload(*workload, cfg.Cores)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cmp.RunWorkload(cfg, *scheme, bench, *cycles)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scheme=%s cycles=%d throughput=%.4f\n", res.Scheme, res.Cycles, res.Throughput())
+	for i, c := range res.Cores {
+		src := res.Report.PerCore[i]
+		fmt.Printf("core %d %-8s IPC=%.4f instr=%-9d L1miss=%.2f%%  L2[local=%d remote=%d wb=%d dram=%d]\n",
+			i, c.Benchmark, c.IPC, c.Instructions, c.L1MissRate()*100,
+			src.BySource[0], src.BySource[1], src.BySource[2], src.BySource[3])
+	}
+	r := res.Report
+	fmt.Printf("spills=%d (dropped=%d) retrievals=%d hits=%d stranded=%d\n",
+		r.Spills, r.SpillNoTaker, r.Retrievals, r.RetrievalHits, r.StrandedDropped)
+	fmt.Printf("bus: snoop=%d data=%d writeback=%d busy=%d wait=%d\n",
+		r.Bus.Count(0), r.Bus.Count(1), r.Bus.Count(2), r.Bus.BusyCycles, r.Bus.WaitCycles)
+	fmt.Printf("dram: reads=%d writes=%d\n", r.DRAM.Reads, r.DRAM.Writes)
+}
+
+// resolveWorkload accepts "a,b,c,d", a Table 8 combo name, or "4xbench".
+func resolveWorkload(w string, cores int) ([]string, error) {
+	for _, c := range workloads.Table8() {
+		if c.Name == w {
+			return c.Cores, nil
+		}
+	}
+	if strings.HasPrefix(w, "4x") {
+		b := strings.TrimPrefix(w, "4x")
+		if _, err := trace.ByName(b); err != nil {
+			return nil, err
+		}
+		out := make([]string, cores)
+		for i := range out {
+			out[i] = b
+		}
+		return out, nil
+	}
+	parts := strings.Split(w, ",")
+	if len(parts) != cores {
+		return nil, fmt.Errorf("workload %q has %d entries, want %d", w, len(parts), cores)
+	}
+	for _, p := range parts {
+		if _, err := trace.ByName(p); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snugsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Quickstart: assemble a quad-core CMP with the SNUG L2 design, run a
+// mixed workload, and compare against the private-cache baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+)
+
+func main() {
+	// The scaled test system keeps this example fast; config.Default()
+	// gives the paper's full Table 4 machine.
+	cfg := config.TestScale()
+
+	// Two capacity-hungry applications with set-level non-uniform demand
+	// (class A) co-scheduled with two light ones (class D) — the scenario
+	// the paper's introduction motivates.
+	workload := []string{"ammp", "parser", "swim", "mesa"}
+	const cycles = 2_000_000
+
+	baseline, err := cmp.RunWorkload(cfg, "L2P", workload, cycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snug, err := cmp.RunWorkload(cfg, "SNUG", workload, cycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %v over %d cycles\n\n", workload, cycles)
+	fmt.Printf("%-8s %12s %12s %9s\n", "core", "L2P IPC", "SNUG IPC", "speedup")
+	for i := range workload {
+		b, s := baseline.Cores[i].IPC, snug.Cores[i].IPC
+		fmt.Printf("%-8s %12.4f %12.4f %8.2f%%\n", workload[i], b, s, (s/b-1)*100)
+	}
+	fmt.Printf("\nthroughput: %.4f -> %.4f (%+.2f%%)\n",
+		baseline.Throughput(), snug.Throughput(),
+		(snug.Throughput()/baseline.Throughput()-1)*100)
+	fmt.Printf("SNUG activity: %d spills, %d retrieval hits of %d retrievals\n",
+		snug.Report.Spills, snug.Report.RetrievalHits, snug.Report.Retrievals)
+}

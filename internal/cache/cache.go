@@ -1,0 +1,323 @@
+// Package cache implements the set-associative, write-back cache arrays
+// used for the private L1/L2 caches and the shared-L2 banks. Blocks carry
+// the metadata fields of the paper's Figure 4: tag, valid, dirty, the CC bit
+// (cooperatively cached / foreign block) and the f bit (index-bit flipped),
+// plus the owning core for accounting. Replacement is true LRU, which the
+// paper relies on for its stack-property arguments (§2.1).
+//
+// The cache is a passive tag/state array: it performs lookups, victim
+// selection, fills and invalidations, but the *policy* of what to do on a
+// miss (fetch from DRAM, spill, retrieve from a peer) belongs to the scheme
+// controllers in internal/schemes and internal/core.
+package cache
+
+import (
+	"fmt"
+
+	"snug/internal/addr"
+)
+
+// Block is one cache line's metadata. The data payload is not simulated;
+// only tags and state matter for hit/miss behaviour and timing.
+type Block struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// CC marks a cooperatively cached (foreign) block: a block spilled into
+	// this cache by a peer. CC==false means the line is owned by the local
+	// core ("local line").
+	CC bool
+	// F is meaningful only when CC is set: the block was cooperatively
+	// cached with the last bit of its original set index flipped (paper
+	// §3.2). F==false means it sits at its original index.
+	F bool
+	// Owner is the core that owns the block's address space.
+	Owner int8
+
+	use uint64 // LRU timestamp: larger = more recently used
+}
+
+// Stats aggregates cache-array event counts.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Fills         int64
+	Evictions     int64
+	DirtyEvicts   int64
+	CCEvictions   int64 // cooperative blocks evicted (dropped, 1-chance rule)
+	Invalidations int64
+}
+
+// Cache is a set-associative array with true-LRU replacement.
+type Cache struct {
+	geom  addr.Geometry
+	ways  int
+	sets  int
+	lines []Block // sets*ways, row-major by set
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache with the given geometry and associativity.
+func New(geom addr.Geometry, ways int) (*Cache, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: associativity must be positive, got %d", ways)
+	}
+	return &Cache{
+		geom:  geom,
+		ways:  ways,
+		sets:  geom.Sets(),
+		lines: make([]Block, geom.Sets()*ways),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(geom addr.Geometry, ways int) *Cache {
+	c, err := New(geom, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's address mapping.
+func (c *Cache) Geometry() addr.Geometry { return c.geom }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Index returns the set index for a under this cache's geometry.
+func (c *Cache) Index(a addr.Addr) uint32 { return c.geom.Index(a) }
+
+// Tag returns the tag for a under this cache's geometry.
+func (c *Cache) Tag(a addr.Addr) uint64 { return c.geom.Tag(a) }
+
+// set returns the ways of set s.
+func (c *Cache) set(s uint32) []Block {
+	base := int(s) * c.ways
+	return c.lines[base : base+c.ways]
+}
+
+// Lookup searches set-of(a) for a's tag among lines that sit at their
+// original index (local lines and CC blocks with F==false). On a hit the
+// block is promoted to MRU, the dirty bit is set for writes, and hit
+// statistics are updated. On a miss only the miss counter is updated.
+func (c *Cache) Lookup(a addr.Addr, write bool) (hit bool, blk *Block) {
+	s := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	set := c.set(s)
+	for i := range set {
+		b := &set[i]
+		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
+			c.tick++
+			b.use = c.tick
+			if write {
+				b.Dirty = true
+			}
+			c.stats.Hits++
+			return true, b
+		}
+	}
+	c.stats.Misses++
+	return false, nil
+}
+
+// Probe reports whether a's tag is present at its original index, without
+// updating LRU state or statistics.
+func (c *Cache) Probe(a addr.Addr) bool {
+	s := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	for i, set := 0, c.set(s); i < len(set); i++ {
+		b := &set[i]
+		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindCC searches set index setIdx for a cooperatively cached block with
+// the given tag and flip state. It is the peer-side lookup of the SNUG
+// retrieval protocol (§3.2): for a request with original index i, a peer
+// searches set i for (CC, f=0) blocks or set i^1 for (CC, f=1) blocks.
+// It does not update LRU or statistics.
+func (c *Cache) FindCC(setIdx uint32, tag uint64, flipped bool) (found bool, way int) {
+	set := c.set(setIdx)
+	for i := range set {
+		b := &set[i]
+		if b.Valid && b.CC && b.F == flipped && b.Tag == tag {
+			return true, i
+		}
+	}
+	return false, -1
+}
+
+// Victim selects the fill target in set setIdx: an invalid way if one
+// exists, otherwise the LRU way. It does not modify the set.
+func (c *Cache) Victim(setIdx uint32) (way int, evicted Block) {
+	set := c.set(setIdx)
+	lru, lruUse := -1, ^uint64(0)
+	for i := range set {
+		b := &set[i]
+		if !b.Valid {
+			return i, Block{}
+		}
+		if b.use < lruUse {
+			lru, lruUse = i, b.use
+		}
+	}
+	return lru, set[lru]
+}
+
+// Fill installs a block into (setIdx, way) at MRU position, returning the
+// displaced block (Valid==false if the way was empty). Eviction statistics
+// are recorded for valid victims.
+func (c *Cache) Fill(setIdx uint32, way int, nb Block) (victim Block) {
+	set := c.set(setIdx)
+	victim = set[way]
+	if victim.Valid {
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.DirtyEvicts++
+		}
+		if victim.CC {
+			c.stats.CCEvictions++
+		}
+	}
+	c.tick++
+	nb.Valid = true
+	nb.use = c.tick
+	set[way] = nb
+	c.stats.Fills++
+	return victim
+}
+
+// Insert is Victim+Fill: it installs a block for address a (with the given
+// state) into its set, returning the evicted block if any.
+func (c *Cache) Insert(a addr.Addr, nb Block) (victim Block) {
+	s := c.geom.Index(a)
+	nb.Tag = c.geom.Tag(a)
+	way, _ := c.Victim(s)
+	return c.Fill(s, way, nb)
+}
+
+// InsertAt installs a block with an explicit tag into an explicit set —
+// used for flipped-index cooperative fills, where the target set is not
+// derived from the block's own address.
+func (c *Cache) InsertAt(setIdx uint32, nb Block) (victim Block) {
+	way, _ := c.Victim(setIdx)
+	return c.Fill(setIdx, way, nb)
+}
+
+// InvalidateWay invalidates (setIdx, way) and returns the block that was
+// there.
+func (c *Cache) InvalidateWay(setIdx uint32, way int) Block {
+	set := c.set(setIdx)
+	old := set[way]
+	if old.Valid {
+		c.stats.Invalidations++
+	}
+	set[way] = Block{}
+	return old
+}
+
+// Invalidate removes a's block from its original index, returning it.
+// found is false when the block was not present.
+func (c *Cache) Invalidate(a addr.Addr) (old Block, found bool) {
+	s := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	set := c.set(s)
+	for i := range set {
+		b := &set[i]
+		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
+			old = *b
+			c.stats.Invalidations++
+			set[i] = Block{}
+			return old, true
+		}
+	}
+	return Block{}, false
+}
+
+// SetView calls fn for each valid block of set setIdx, in way order. fn may
+// not mutate the cache. It exists for the scheme controllers and tests to
+// inspect set contents (e.g. dropping stranded CC blocks on a G/T flip).
+func (c *Cache) SetView(setIdx uint32, fn func(way int, b Block)) {
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].Valid {
+			fn(i, set[i])
+		}
+	}
+}
+
+// DropWhere invalidates every block in set setIdx matched by pred and
+// returns how many were dropped.
+func (c *Cache) DropWhere(setIdx uint32, pred func(b Block) bool) int {
+	set := c.set(setIdx)
+	n := 0
+	for i := range set {
+		if set[i].Valid && pred(set[i]) {
+			set[i] = Block{}
+			c.stats.Invalidations++
+			n++
+		}
+	}
+	return n
+}
+
+// LRUOrder returns the ways of set setIdx ordered from MRU to LRU,
+// considering only valid lines. Used by tests asserting exact-LRU behaviour
+// and by the stack-distance cross-checks.
+func (c *Cache) LRUOrder(setIdx uint32) []int {
+	set := c.set(setIdx)
+	type wu struct {
+		way int
+		use uint64
+	}
+	var order []wu
+	for i := range set {
+		if set[i].Valid {
+			order = append(order, wu{i, set[i].use})
+		}
+	}
+	// Insertion sort by descending use; associativity is small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].use > order[j-1].use; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = o.way
+	}
+	return out
+}
+
+// ValidCount returns the number of valid lines in set setIdx.
+func (c *Cache) ValidCount(setIdx uint32) int {
+	n := 0
+	for _, b := range c.set(setIdx) {
+		if b.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line (without write-back side effects) and is
+// used between characterization warm-up and measurement windows.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = Block{}
+	}
+}

@@ -1,0 +1,240 @@
+// Package cmp assembles and drives the simulated quad-core CMP: per-core
+// out-of-order cores and private L1 data caches on top of one of the LLC
+// scheme controllers (L2P, L2S, CC, DSR, SNUG). Cores advance in lock-step
+// quanta; cross-core structures (bus, peer slices, DRAM) are
+// timestamp-arbitrated inside the controller. For a fixed configuration,
+// seed and core order the simulation is deterministic.
+package cmp
+
+import (
+	"fmt"
+	"sort"
+
+	"snug/internal/addr"
+	"snug/internal/cache"
+	"snug/internal/config"
+	"snug/internal/core"
+	"snug/internal/cpu"
+	"snug/internal/isa"
+	"snug/internal/schemes"
+	"snug/internal/trace"
+)
+
+// NewController builds the named scheme controller. Valid names: "L2P",
+// "L2S", "CC" (spill probability from cfg.CC.SpillPercent), "DSR", "SNUG".
+func NewController(name string, cfg config.System) (schemes.Controller, error) {
+	switch name {
+	case "L2P":
+		return schemes.NewL2P(cfg), nil
+	case "L2S":
+		return schemes.NewL2S(cfg), nil
+	case "CC":
+		return schemes.NewCC(cfg), nil
+	case "DSR":
+		return schemes.NewDSR(cfg), nil
+	case "SNUG":
+		return core.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("cmp: unknown scheme %q (want L2P, L2S, CC, DSR or SNUG)", name)
+	}
+}
+
+// SchemeNames returns the recognized scheme names, sorted.
+func SchemeNames() []string {
+	names := []string{"L2P", "L2S", "CC", "DSR", "SNUG"}
+	sort.Strings(names)
+	return names
+}
+
+// CoreResult summarizes one core's execution.
+type CoreResult struct {
+	Benchmark    string
+	Instructions int64
+	Cycles       int64
+	IPC          float64
+	L1Hits       int64
+	L1Misses     int64
+	CPUStats     cpu.Stats
+}
+
+// L1MissRate returns the core's L1 data miss rate.
+func (c CoreResult) L1MissRate() float64 {
+	t := c.L1Hits + c.L1Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.L1Misses) / float64(t)
+}
+
+// RunResult is a full simulation outcome.
+type RunResult struct {
+	Scheme string
+	Cycles int64
+	Cores  []CoreResult
+	Report schemes.Report
+}
+
+// Throughput returns the sum of per-core IPCs (Table 5).
+func (r RunResult) Throughput() float64 {
+	t := 0.0
+	for _, c := range r.Cores {
+		t += c.IPC
+	}
+	return t
+}
+
+// System is an assembled CMP ready to run.
+type System struct {
+	cfg     config.System
+	ctrl    schemes.Controller
+	cores   []*cpu.Core
+	l1      []*cache.Cache
+	streams []isa.Stream
+	names   []string
+	clock   int64
+}
+
+// NewSystem assembles a CMP running the named scheme with one instruction
+// stream per core.
+func NewSystem(cfg config.System, scheme string, streams []isa.Stream) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("cmp: %d streams for %d cores", len(streams), cfg.Cores)
+	}
+	ctrl, err := NewController(scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	l1Geom := addr.MustGeometry(cfg.Mem.L1D.BlockBytes, cfg.Mem.L1D.Sets())
+	s := &System{
+		cfg:     cfg,
+		ctrl:    ctrl,
+		cores:   make([]*cpu.Core, cfg.Cores),
+		l1:      make([]*cache.Cache, cfg.Cores),
+		streams: streams,
+		names:   make([]string, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores[i] = cpu.NewCore(cfg.Core)
+		s.l1[i] = cache.MustNew(l1Geom, cfg.Mem.L1D.Ways)
+		s.names[i] = streams[i].Name()
+	}
+	return s, nil
+}
+
+// Controller exposes the scheme controller (tests, reporting).
+func (s *System) Controller() schemes.Controller { return s.ctrl }
+
+// memFunc builds core i's path into the hierarchy: private-address
+// rebasing, L1 lookup, then the scheme controller.
+func (s *System) memFunc(i int) cpu.MemFunc {
+	l1 := s.l1[i]
+	l1Lat := int64(s.cfg.Mem.L1Lat)
+	return func(now int64, a addr.Addr, write bool) int64 {
+		pa := addr.ForCore(i, a)
+		if hit, _ := l1.Lookup(pa, write); hit {
+			return now + l1Lat
+		}
+		done := s.ctrl.Access(i, now+l1Lat, pa, write)
+		v := l1.Insert(pa, cache.Block{Dirty: write, Owner: int8(i)})
+		if v.Valid && v.Dirty {
+			s.ctrl.WritebackL1(i, now, l1.Geometry().Rebuild(v.Tag, l1.Geometry().Index(pa)))
+		}
+		return done
+	}
+}
+
+// Run advances the system by cycles and returns the result. It may be
+// called repeatedly; results are cumulative from construction.
+func (s *System) Run(cycles int64) RunResult {
+	end := s.clock + cycles
+	q := s.cfg.Quantum
+	for s.clock < end {
+		boundary := s.clock + q
+		if boundary > end {
+			boundary = end
+		}
+		for i, c := range s.cores {
+			c.Run(boundary, s.streams[i], s.memFunc(i))
+		}
+		s.ctrl.Tick(boundary)
+		s.clock = boundary
+	}
+	return s.result()
+}
+
+// result snapshots the current state into a RunResult.
+func (s *System) result() RunResult {
+	r := RunResult{
+		Scheme: s.ctrl.Name(),
+		Cycles: s.clock,
+		Report: s.ctrl.Report(),
+		Cores:  make([]CoreResult, len(s.cores)),
+	}
+	for i, c := range s.cores {
+		st := c.Stats()
+		l1 := s.l1[i].Stats()
+		r.Cores[i] = CoreResult{
+			Benchmark:    s.names[i],
+			Instructions: st.Instructions,
+			Cycles:       s.clock,
+			IPC:          float64(st.Instructions) / float64(s.clock),
+			L1Hits:       l1.Hits,
+			L1Misses:     l1.Misses,
+			CPUStats:     st,
+		}
+	}
+	return r
+}
+
+// WorkloadStreams builds one generator per core for the named benchmarks.
+// totalRefs is the per-generator phase-cycle length; each core gets a
+// distinct seed derived from cfg.Seed.
+func WorkloadStreams(cfg config.System, benchmarks []string, totalRefs int64) ([]isa.Stream, error) {
+	if len(benchmarks) != cfg.Cores {
+		return nil, fmt.Errorf("cmp: %d benchmarks for %d cores", len(benchmarks), cfg.Cores)
+	}
+	geom := addr.MustGeometry(cfg.Mem.L2Slice.BlockBytes, cfg.Mem.L2Slice.Sets())
+	streams := make([]isa.Stream, len(benchmarks))
+	for i, name := range benchmarks {
+		prof, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := trace.NewGenerator(prof, geom, cfg.Seed+uint64(i)*0x1000_0001, totalRefs)
+		if err != nil {
+			return nil, err
+		}
+		// Each instance gets its own physical page mapping: identical
+		// benchmarks share a demand distribution but not concrete hot-set
+		// indexes (see Generator.WithDemandSalt).
+		gen.WithDemandSalt(uint64(i) + 1)
+		streams[i] = gen
+	}
+	return streams, nil
+}
+
+// RunWorkload is the one-call convenience used by the CLI tools, examples
+// and benchmarks: build streams, assemble the system under scheme, run for
+// cycles.
+func RunWorkload(cfg config.System, scheme string, benchmarks []string, cycles int64) (RunResult, error) {
+	// Size the generators' phase cycle to the run: roughly one distinct
+	// touch per L2Every instructions at IPC ~1 means cycles/40 touches; use
+	// cycles/32 so multi-phase workloads (vortex) rotate through all phases
+	// about once per run.
+	totalRefs := cycles / 32
+	if totalRefs < 1000 {
+		totalRefs = 1000
+	}
+	streams, err := WorkloadStreams(cfg, benchmarks, totalRefs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sys, err := NewSystem(cfg, scheme, streams)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return sys.Run(cycles), nil
+}

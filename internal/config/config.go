@@ -1,0 +1,244 @@
+// Package config defines the simulated system's configuration — the
+// quad-core CMP of the paper's Table 4 — plus scaled presets used by the
+// test suite and the benchmark harness. Every latency, size and epoch
+// constant in the simulator is sourced from here so that experiments can be
+// scaled coherently.
+package config
+
+import "fmt"
+
+// Core holds the out-of-order core parameters (Table 4, left column).
+type Core struct {
+	IssueWidth  int // instructions dispatched per cycle (8)
+	CommitWidth int // instructions committed per cycle (8)
+	FetchQueue  int // I-fetch queue entries (8)
+	LSQSize     int // load/store queue entries (64)
+	RUUSize     int // register update unit / window entries (128)
+
+	IntALUs  int // 4
+	FPALUs   int // 4
+	MultDiv  int // 1 multiplier + 1 divider
+	ALULat   int // integer op latency
+	FPLat    int // floating-point op latency
+	MultLat  int // multiply latency
+	DivLat   int // divide latency
+	LoadLat  int // address-generation + L1 pipeline latency component
+
+	BranchPenalty  int // misprediction penalty in cycles (3)
+	HistoryLength  int // global history bits of the 2-level predictor (10)
+	PredictorSize  int // pattern-history-table entries (1024)
+	BTBSets        int // 512
+	BTBWays        int // 4
+	RASEntries     int // 8
+}
+
+// CacheGeom holds one cache array's geometry.
+type CacheGeom struct {
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheGeom) Sets() int { return c.SizeBytes / (c.Ways * c.BlockBytes) }
+
+// Memory holds memory-hierarchy parameters (Table 4, right column).
+type Memory struct {
+	L1Lat      int       // L1 hit latency in cycles (1)
+	L1D        CacheGeom // 32 KB, 4-way, 64 B
+	L2Lat      int       // local L2 hit latency (10)
+	L2Slice    CacheGeom // per-core slice: 1 MB, 16-way, 64 B
+	RemoteLat  int       // remote L2 access latency for L2P/CC/DSR (30)
+	SNUGRemote int       // remote latency for SNUG incl. G/T lookup (40)
+	DRAMLat    int       // 300
+
+	BusWidthBytes int // 16 B-wide split-transaction bus
+	BusSpeedRatio int // core-to-bus clock ratio (4:1)
+	BusArbCycles  int // arbitration, in bus cycles (1)
+
+	WriteBufEntries int // 16 entries x 64 B, FIFO, mergeable, direct-read
+	AddressBits     int // 32
+}
+
+// SNUG holds the SNUG mechanism parameters (paper §3).
+type SNUG struct {
+	CounterBits   int   // k, saturating-counter width (4)
+	PDivisor      int   // p: decrement after every p hits; threshold σ > 1/p (8)
+	StageICycles  int64 // G/T identification stage length (5,000,000)
+	StageIICycles int64 // grouping/spill stage length (100,000,000)
+	// ShadowWays is the shadow set associativity. The paper uses the same
+	// associativity as the real set so that real+shadow form two buckets.
+	ShadowWays int
+	// IndexFlip enables the index-bit-flipping grouping scheme. Disabling it
+	// restricts grouping to same-index peer sets (an ablation of §3.2).
+	IndexFlip bool
+	// DropOnFlip invalidates cooperatively cached blocks stranded in sets
+	// whose status flips from giver to taker at a G/T re-latch, keeping
+	// retrieval lookups (which consult the G/T vector) complete.
+	DropOnFlip bool
+}
+
+// DSR holds Dynamic Spill-Receive parameters (Qureshi, HPCA'09).
+type DSR struct {
+	SampleSets int // dedicated spiller-sample and receiver-sample sets (32 each)
+	PSELBits   int // policy-selector width (10)
+}
+
+// CC holds baseline Cooperative Caching parameters (Chang & Sohi).
+type CC struct {
+	SpillPercent int // 0, 25, 50, 75, 100 — CC(Best) picks the best
+}
+
+// System is the complete simulated-system configuration.
+type System struct {
+	Cores  int // 4
+	Core   Core
+	Mem    Memory
+	SNUG   SNUG
+	DSR    DSR
+	CC     CC
+	// Quantum is the multi-core lock-step quantum in cycles: each core runs
+	// to the next quantum boundary before cross-core state is advanced.
+	Quantum int64
+	Seed    uint64
+}
+
+// Default returns the paper's Table 4 configuration.
+func Default() System {
+	return System{
+		Cores: 4,
+		Core: Core{
+			IssueWidth:    8,
+			CommitWidth:   8,
+			FetchQueue:    8,
+			LSQSize:       64,
+			RUUSize:       128,
+			IntALUs:       4,
+			FPALUs:        4,
+			MultDiv:       1,
+			ALULat:        1,
+			FPLat:         4,
+			MultLat:       3,
+			DivLat:        20,
+			LoadLat:       1,
+			BranchPenalty: 3,
+			HistoryLength: 10,
+			PredictorSize: 1024,
+			BTBSets:       512,
+			BTBWays:       4,
+			RASEntries:    8,
+		},
+		Mem: Memory{
+			L1Lat:           1,
+			L1D:             CacheGeom{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64},
+			L2Lat:           10,
+			L2Slice:         CacheGeom{SizeBytes: 1 << 20, Ways: 16, BlockBytes: 64},
+			RemoteLat:       30,
+			SNUGRemote:      40,
+			DRAMLat:         300,
+			BusWidthBytes:   16,
+			BusSpeedRatio:   4,
+			BusArbCycles:    1,
+			WriteBufEntries: 16,
+			AddressBits:     32,
+		},
+		SNUG: SNUG{
+			CounterBits:   4,
+			PDivisor:      8,
+			StageICycles:  5_000_000,
+			StageIICycles: 100_000_000,
+			ShadowWays:    16,
+			IndexFlip:     true,
+			DropOnFlip:    true,
+		},
+		DSR: DSR{SampleSets: 32, PSELBits: 10},
+		CC:  CC{SpillPercent: 100},
+		// The quantum bounds cross-core timestamp skew on the shared bus;
+		// it must stay well below the DRAM latency or later-ordered cores
+		// see artificially inflated queueing delays.
+		Quantum: 100,
+		Seed:    0x5eed_c0de,
+	}
+}
+
+// TestScale returns a configuration shrunk for fast unit/integration tests:
+// small caches (so working sets warm up within a few hundred thousand
+// cycles) and short SNUG stages (so several epochs fit in a short run).
+// The relative geometry — shadow associativity equals L2 associativity,
+// A_threshold = 2×ways — matches the paper's.
+func TestScale() System {
+	s := Default()
+	s.Mem.L1D = CacheGeom{SizeBytes: 4 << 10, Ways: 4, BlockBytes: 64}
+	s.Mem.L2Slice = CacheGeom{SizeBytes: 64 << 10, Ways: 16, BlockBytes: 64} // 64 sets
+	// Stage I must observe enough touches per set (~50+) for reliable G/T
+	// classification, mirroring the paper's 5 M-cycle stage over 1024 sets.
+	s.SNUG.StageICycles = 100_000
+	s.SNUG.StageIICycles = 900_000
+	// Keep the dedicated-sample fraction at the paper's ~3% of sets.
+	s.DSR.SampleSets = 2
+	return s
+}
+
+// Scaled returns the Table 4 configuration with SNUG stage lengths divided
+// by factor, for runs shorter than the paper's 3-billion-cycle simulations.
+// All schemes see the same system; only the adaptation epochs shrink so that
+// multiple Stage I/II alternations still occur within a scaled run.
+func Scaled(factor int64) System {
+	s := Default()
+	if factor <= 0 {
+		factor = 1
+	}
+	s.SNUG.StageICycles = maxI64(s.SNUG.StageICycles/factor, 2*s.Quantum)
+	s.SNUG.StageIICycles = maxI64(s.SNUG.StageIICycles/factor, 4*s.Quantum)
+	return s
+}
+
+// Validate reports configuration errors.
+func (s System) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("config: cores must be positive, got %d", s.Cores)
+	}
+	for _, g := range []struct {
+		name string
+		g    CacheGeom
+	}{{"L1D", s.Mem.L1D}, {"L2Slice", s.Mem.L2Slice}} {
+		if g.g.SizeBytes <= 0 || g.g.Ways <= 0 || g.g.BlockBytes <= 0 {
+			return fmt.Errorf("config: %s geometry has non-positive field: %+v", g.name, g.g)
+		}
+		sets := g.g.Sets()
+		if sets <= 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("config: %s set count %d is not a power of two", g.name, sets)
+		}
+	}
+	if s.Mem.L2Slice.Ways&(s.Mem.L2Slice.Ways-1) != 0 {
+		return fmt.Errorf("config: L2 associativity %d is not a power of two (paper requires A_baseline to be one)", s.Mem.L2Slice.Ways)
+	}
+	if s.SNUG.CounterBits < 2 || s.SNUG.CounterBits > 16 {
+		return fmt.Errorf("config: SNUG counter width %d out of range [2,16]", s.SNUG.CounterBits)
+	}
+	if s.SNUG.PDivisor <= 0 || s.SNUG.PDivisor&(s.SNUG.PDivisor-1) != 0 {
+		return fmt.Errorf("config: SNUG p=%d must be a positive power of two", s.SNUG.PDivisor)
+	}
+	if s.SNUG.StageICycles <= 0 || s.SNUG.StageIICycles <= 0 {
+		return fmt.Errorf("config: SNUG stage lengths must be positive")
+	}
+	if s.DSR.SampleSets*2 >= s.Mem.L2Slice.Sets() {
+		return fmt.Errorf("config: DSR sample sets (2x%d) exceed L2 sets (%d)", s.DSR.SampleSets, s.Mem.L2Slice.Sets())
+	}
+	switch s.CC.SpillPercent {
+	case 0, 25, 50, 75, 100:
+	default:
+		return fmt.Errorf("config: CC spill probability %d%% not one of the paper's {0,25,50,75,100}", s.CC.SpillPercent)
+	}
+	if s.Quantum <= 0 {
+		return fmt.Errorf("config: quantum must be positive")
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package config
+
+import "testing"
+
+// TestTable4Defaults pins the default configuration to the paper's Table 4.
+func TestTable4Defaults(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"cores", s.Cores, 4},
+		{"issue width", s.Core.IssueWidth, 8},
+		{"commit width", s.Core.CommitWidth, 8},
+		{"I-fetch queue", s.Core.FetchQueue, 8},
+		{"LSQ", s.Core.LSQSize, 64},
+		{"RUU", s.Core.RUUSize, 128},
+		{"int ALUs", s.Core.IntALUs, 4},
+		{"FP ALUs", s.Core.FPALUs, 4},
+		{"branch penalty", s.Core.BranchPenalty, 3},
+		{"history length", s.Core.HistoryLength, 10},
+		{"predictor entries", s.Core.PredictorSize, 1024},
+		{"BTB sets", s.Core.BTBSets, 512},
+		{"BTB ways", s.Core.BTBWays, 4},
+		{"RAS", s.Core.RASEntries, 8},
+		{"L1 latency", s.Mem.L1Lat, 1},
+		{"L1D size", s.Mem.L1D.SizeBytes, 32 << 10},
+		{"L1D ways", s.Mem.L1D.Ways, 4},
+		{"L1D block", s.Mem.L1D.BlockBytes, 64},
+		{"L2 latency", s.Mem.L2Lat, 10},
+		{"L2 slice size", s.Mem.L2Slice.SizeBytes, 1 << 20},
+		{"L2 ways", s.Mem.L2Slice.Ways, 16},
+		{"L2 block", s.Mem.L2Slice.BlockBytes, 64},
+		{"L2 sets", s.Mem.L2Slice.Sets(), 1024},
+		{"remote latency", s.Mem.RemoteLat, 30},
+		{"SNUG remote latency", s.Mem.SNUGRemote, 40},
+		{"DRAM latency", s.Mem.DRAMLat, 300},
+		{"bus width", s.Mem.BusWidthBytes, 16},
+		{"bus ratio", s.Mem.BusSpeedRatio, 4},
+		{"bus arbitration", s.Mem.BusArbCycles, 1},
+		{"write buffer entries", s.Mem.WriteBufEntries, 16},
+		{"address bits", s.Mem.AddressBits, 32},
+		{"SNUG counter bits (k)", s.SNUG.CounterBits, 4},
+		{"SNUG p", s.SNUG.PDivisor, 8},
+		{"shadow ways", s.SNUG.ShadowWays, 16},
+		{"DSR sample sets", s.DSR.SampleSets, 32},
+		{"DSR PSEL bits", s.DSR.PSELBits, 10},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if s.SNUG.StageICycles != 5_000_000 {
+		t.Errorf("Stage I = %d, want 5M cycles", s.SNUG.StageICycles)
+	}
+	if s.SNUG.StageIICycles != 100_000_000 {
+		t.Errorf("Stage II = %d, want 100M cycles", s.SNUG.StageIICycles)
+	}
+	if !s.SNUG.IndexFlip {
+		t.Error("index-bit flipping disabled by default")
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	s := Scaled(50)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SNUG.StageICycles != 100_000 || s.SNUG.StageIICycles != 2_000_000 {
+		t.Fatalf("scaled stages %d/%d", s.SNUG.StageICycles, s.SNUG.StageIICycles)
+	}
+	// The cache geometry must be untouched by scaling.
+	if s.Mem.L2Slice != Default().Mem.L2Slice {
+		t.Fatal("Scaled changed the cache geometry")
+	}
+}
+
+func TestTestScaleValid(t *testing.T) {
+	s := TestScale()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mem.L2Slice.Sets() != 64 {
+		t.Fatalf("test L2 sets = %d, want 64", s.Mem.L2Slice.Sets())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*System){
+		func(s *System) { s.Cores = 0 },
+		func(s *System) { s.Mem.L2Slice.SizeBytes = 0 },
+		func(s *System) { s.Mem.L1D.SizeBytes = 48 << 10 }, // 192 sets: not 2^n
+		func(s *System) { s.SNUG.CounterBits = 1 },
+		func(s *System) { s.SNUG.PDivisor = 6 },
+		func(s *System) { s.SNUG.StageICycles = 0 },
+		func(s *System) { s.DSR.SampleSets = 10_000 },
+		func(s *System) { s.CC.SpillPercent = 30 },
+		func(s *System) { s.Quantum = 0 },
+	}
+	for i, mut := range cases {
+		s := Default()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

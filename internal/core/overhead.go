@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OverheadParams describes one SNUG storage-overhead scenario for
+// Formula (6) and Tables 2–3 of §3.4.
+type OverheadParams struct {
+	// AddressBits is the machine's address width (32, or 64 with
+	// UsedAddressBits of them architecturally meaningful — the paper cites
+	// UltraSPARC-III using 44 physical-address bits).
+	AddressBits     int
+	UsedAddressBits int // 0 means all AddressBits are used
+	CacheBytes      int // private slice capacity (1 MB)
+	Ways            int // associativity (16)
+	BlockBytes      int // 64 or 128
+	CounterBits     int // k (4)
+	PDivisor        int // p (8) — mod-p counter is log2(p) bits
+}
+
+// DefaultOverheadParams returns the Table 2 configuration.
+func DefaultOverheadParams() OverheadParams {
+	return OverheadParams{
+		AddressBits: 32,
+		CacheBytes:  1 << 20,
+		Ways:        16,
+		BlockBytes:  64,
+		CounterBits: 4,
+		PDivisor:    8,
+	}
+}
+
+// Overhead is the computed storage breakdown.
+type Overhead struct {
+	Sets          int
+	TagBits       int // shadow/real tag width (Table 2 "length (tag field)")
+	LRUBits       int // per-line LRU field width (Table 2: 4 for 16 ways)
+	LineBits      int // one real L2 line: tag+v+d+CC+f+LRU+data
+	L2SetBits     int // Ways real lines
+	ShadowTagBits int // one shadow entry: tag+v+LRU
+	ShadowSetBits int // Ways shadow entries + counter + mod-p + G/T bit
+	Fraction      float64
+}
+
+// Percent returns the overhead as a percentage.
+func (o Overhead) Percent() float64 { return o.Fraction * 100 }
+
+// ComputeOverhead evaluates Formula (6):
+//
+//	overhead = shadowSet / (shadowSet + l2Set)
+//
+// with the field widths of Table 2 derived from the geometry.
+func ComputeOverhead(p OverheadParams) (Overhead, error) {
+	if p.CacheBytes <= 0 || p.Ways <= 0 || p.BlockBytes <= 0 {
+		return Overhead{}, fmt.Errorf("core: invalid overhead geometry %+v", p)
+	}
+	sets := p.CacheBytes / (p.Ways * p.BlockBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return Overhead{}, fmt.Errorf("core: set count %d is not a power of two", sets)
+	}
+	used := p.UsedAddressBits
+	if used == 0 {
+		used = p.AddressBits
+	}
+	offBits := ilog2(p.BlockBytes)
+	idxBits := ilog2(sets)
+	tagBits := used - offBits - idxBits
+	if tagBits <= 0 {
+		return Overhead{}, fmt.Errorf("core: geometry leaves no tag bits (used=%d off=%d idx=%d)", used, offBits, idxBits)
+	}
+	lruBits := ilog2(p.Ways)
+	dataBits := p.BlockBytes * 8
+
+	// Real line: tag + valid + dirty + CC + f + LRU + data (Figure 4).
+	lineBits := tagBits + 4 + lruBits + dataBits
+	l2SetBits := p.Ways * lineBits
+
+	// Shadow entry: tag + valid + LRU. Per shadow set: the k-bit saturating
+	// counter, the mod-p hit counter (log2 p bits) and the G/T vector bit.
+	shadowTag := tagBits + 1 + lruBits
+	shadowSetBits := p.Ways*shadowTag + p.CounterBits + ilog2(p.PDivisor) + 1
+
+	frac := float64(shadowSetBits) / float64(shadowSetBits+l2SetBits)
+	return Overhead{
+		Sets:          sets,
+		TagBits:       tagBits,
+		LRUBits:       lruBits,
+		LineBits:      lineBits,
+		L2SetBits:     l2SetBits,
+		ShadowTagBits: shadowTag,
+		ShadowSetBits: shadowSetBits,
+		Fraction:      frac,
+	}, nil
+}
+
+// Table3Cell identifies one cell of Table 3.
+type Table3Cell struct {
+	AddressBits     int
+	UsedAddressBits int
+	BlockBytes      int
+	Percent         float64
+}
+
+// Table3 computes the paper's Table 3 grid: {32-bit, 64-bit(44 used)} ×
+// {64 B, 128 B lines} for a 1 MB 16-way slice. Expected values: 3.9 %,
+// 5.8 %, 2.1 %, 3.1 %.
+func Table3() ([]Table3Cell, error) {
+	var out []Table3Cell
+	for _, blk := range []int{64, 128} {
+		for _, ab := range []struct{ bits, used int }{{32, 0}, {64, 44}} {
+			p := DefaultOverheadParams()
+			p.AddressBits = ab.bits
+			p.UsedAddressBits = ab.used
+			p.BlockBytes = blk
+			o, err := ComputeOverhead(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Table3Cell{
+				AddressBits:     ab.bits,
+				UsedAddressBits: ab.used,
+				BlockBytes:      blk,
+				Percent:         o.Percent(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func ilog2(v int) int {
+	return int(math.Round(math.Log2(float64(v))))
+}

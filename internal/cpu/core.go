@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"snug/internal/addr"
+	"snug/internal/config"
+	"snug/internal/isa"
+)
+
+// MemFunc resolves one data-memory access: it is called with the cycle the
+// access is issued and returns the cycle its data is available. The cache
+// hierarchy (internal/cmp) provides this function; the core model is
+// hierarchy-agnostic.
+type MemFunc func(now int64, a addr.Addr, write bool) (doneAt int64)
+
+// Stats aggregates per-core execution statistics.
+type Stats struct {
+	Instructions int64
+	Cycles       int64 // set by the driver at end of run
+	KindCount    [isa.NumKinds]int64
+
+	ROBStall int64 // cycles dispatch waited for window space
+	LSQStall int64 // cycles dispatch waited for LSQ space
+	DepStall int64 // cycles execution waited on the previous result
+
+	BranchMispredicts int64 // direction + BTB + RAS redirects applied
+}
+
+// IPC returns committed instructions per cycle (0 when no cycles elapsed).
+func (s Stats) IPC() float64 {
+	if s.Cycles <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Core is the out-of-order timing model. It is advanced in quanta by Run;
+// cross-core structures are consulted only through the MemFunc.
+type Core struct {
+	cfg  config.Core
+	pred *Predictor
+	btb  *BTB
+	ras  *RAS
+
+	clock      int64 // dispatch cycle of the most recent instruction
+	fetchAvail int64 // earliest dispatch after a fetch redirect
+
+	issuedAt  int64 // cycle issuedCnt refers to
+	issuedCnt int
+
+	commitRing []int64 // commit time of instruction j at j % RUUSize
+	seq        int64   // dynamic instruction count
+	lastCommit int64
+	commitAt   int64
+	commitCnt  int
+
+	lsq []int64 // completion times of outstanding memory ops
+
+	prevComplete int64
+
+	stats Stats
+}
+
+// NewCore builds a core with the given configuration.
+func NewCore(cfg config.Core) *Core {
+	return &Core{
+		cfg:        cfg,
+		pred:       NewPredictor(cfg.PredictorSize, cfg.HistoryLength),
+		btb:        NewBTB(cfg.BTBSets, cfg.BTBWays),
+		ras:        NewRAS(cfg.RASEntries),
+		commitRing: make([]int64, cfg.RUUSize),
+		lsq:        make([]int64, 0, cfg.LSQSize),
+	}
+}
+
+// Stats returns a snapshot of the core's counters with Cycles set to the
+// current clock.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.clock
+	return s
+}
+
+// Clock returns the core's current cycle.
+func (c *Core) Clock() int64 { return c.clock }
+
+// Predictor exposes the branch predictor for reporting.
+func (c *Core) Predictor() *Predictor { return c.pred }
+
+// Run advances the core until its dispatch clock reaches the until cycle,
+// drawing instructions from stream and resolving memory through mem. It
+// returns the number of instructions dispatched during this quantum.
+func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
+	var in isa.Instr
+	n := int64(0)
+	for c.clock < until {
+		stream.Next(&in)
+		c.step(&in, mem)
+		n++
+	}
+	return n
+}
+
+// step dispatches, executes and commits one instruction in model time.
+func (c *Core) step(in *isa.Instr, mem MemFunc) {
+	cfg := &c.cfg
+
+	// Dispatch: bounded by fetch availability, window space, issue width,
+	// and LSQ occupancy for memory operations.
+	e := c.clock
+	if c.fetchAvail > e {
+		e = c.fetchAvail
+	}
+	if robFree := c.commitRing[c.seq%int64(cfg.RUUSize)]; robFree > e {
+		c.stats.ROBStall += robFree - e
+		e = robFree
+	}
+	isMem := in.Kind == isa.KindLoad || in.Kind == isa.KindStore
+	if isMem {
+		e = c.reserveLSQ(e)
+	}
+	// Issue-width constraint.
+	if e < c.issuedAt {
+		e = c.issuedAt
+	}
+	if e == c.issuedAt && c.issuedCnt >= cfg.IssueWidth {
+		e++
+	}
+	if e > c.issuedAt {
+		c.issuedAt = e
+		c.issuedCnt = 0
+	}
+	c.issuedCnt++
+
+	// Execute.
+	start := e
+	if in.DepPrev && c.prevComplete > start {
+		c.stats.DepStall += c.prevComplete - start
+		start = c.prevComplete
+	}
+	var complete int64
+	switch in.Kind {
+	case isa.KindALU:
+		complete = start + int64(cfg.ALULat)
+	case isa.KindFPU:
+		complete = start + int64(cfg.FPLat)
+	case isa.KindMult:
+		complete = start + int64(cfg.MultLat)
+	case isa.KindDiv:
+		complete = start + int64(cfg.DivLat)
+	case isa.KindLoad:
+		complete = mem(start+int64(cfg.LoadLat), in.Addr, false)
+		c.lsq = append(c.lsq, complete)
+	case isa.KindStore:
+		done := mem(start+int64(cfg.LoadLat), in.Addr, true)
+		c.lsq = append(c.lsq, done)
+		complete = start + 1 // posted through the store buffer
+	case isa.KindBranch:
+		complete = start + int64(cfg.ALULat)
+		mispred := c.pred.Update(in.PC, in.Taken)
+		if in.Taken && !c.btb.LookupInsert(in.PC) {
+			mispred = true
+		}
+		if mispred {
+			c.redirect(complete)
+		}
+	case isa.KindCall:
+		complete = start + int64(cfg.ALULat)
+		c.ras.Push(in.PC + 4)
+		if !c.btb.LookupInsert(in.PC) {
+			c.redirect(complete)
+		}
+	case isa.KindReturn:
+		complete = start + int64(cfg.ALULat)
+		if !c.ras.Pop(in.Target) {
+			c.redirect(complete)
+		}
+	default:
+		complete = start + int64(cfg.ALULat)
+	}
+	c.prevComplete = complete
+
+	// Commit: in order, bounded by commit width.
+	ct := complete
+	if c.lastCommit > ct {
+		ct = c.lastCommit
+	}
+	if ct == c.commitAt && c.commitCnt >= cfg.CommitWidth {
+		ct++
+	}
+	if ct > c.commitAt {
+		c.commitAt = ct
+		c.commitCnt = 0
+	}
+	c.commitCnt++
+	c.lastCommit = ct
+	c.commitRing[c.seq%int64(cfg.RUUSize)] = ct
+
+	c.seq++
+	c.clock = e
+	c.stats.Instructions++
+	c.stats.KindCount[in.Kind]++
+}
+
+// redirect applies a fetch redirect (branch misprediction) resolved at
+// cycle resolved.
+func (c *Core) redirect(resolved int64) {
+	c.stats.BranchMispredicts++
+	avail := resolved + int64(c.cfg.BranchPenalty)
+	if avail > c.fetchAvail {
+		c.fetchAvail = avail
+	}
+}
+
+// reserveLSQ frees completed LSQ entries as of cycle e and, if the queue is
+// still full, stalls until the earliest outstanding completion. It returns
+// the (possibly delayed) dispatch cycle.
+func (c *Core) reserveLSQ(e int64) int64 {
+	c.releaseLSQ(e)
+	if len(c.lsq) < c.cfg.LSQSize {
+		return e
+	}
+	min := c.lsq[0]
+	for _, t := range c.lsq[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	if min > e {
+		c.stats.LSQStall += min - e
+		e = min
+	}
+	c.releaseLSQ(e)
+	return e
+}
+
+// releaseLSQ drops entries whose memory operation completed by cycle e.
+func (c *Core) releaseLSQ(e int64) {
+	w := 0
+	for _, t := range c.lsq {
+		if t > e {
+			c.lsq[w] = t
+			w++
+		}
+	}
+	c.lsq = c.lsq[:w]
+}

@@ -1,0 +1,243 @@
+// Package experiments orchestrates the paper's evaluation: the
+// characterization of Figures 1–3, the scheme comparison of Figures 9–11
+// over the 21 workload combinations of Table 8, the overhead tables, and
+// the ablation studies of SNUG's design choices. It is the engine behind
+// cmd/experiments, the examples, and the repository's benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/metrics"
+	"snug/internal/stats"
+	"snug/internal/workloads"
+)
+
+// CCPercents are the spill probabilities §4.1 evaluates; CC(Best) is the
+// best-performing one per workload.
+var CCPercents = []int{0, 25, 50, 75, 100}
+
+// FigureSchemes are the scheme labels of Figures 9–11, in plot order.
+var FigureSchemes = []string{"L2S", "CC(Best)", "DSR", "SNUG"}
+
+// Options configures an evaluation.
+type Options struct {
+	Cfg         config.System
+	RunCycles   int64
+	Parallelism int      // concurrent simulations (0 = 2)
+	Classes     []string // subset of {"C1".."C6"}; nil = all
+}
+
+// ComboResult is the outcome for one workload combination: the L2P
+// baseline, every scheme's run, and the Table 5 comparisons.
+type ComboResult struct {
+	Combo       workloads.Combo
+	Baseline    cmp.RunResult
+	Runs        map[string]cmp.RunResult      // keyed by scheme label
+	CCBestPct   int                           // spill probability behind CC(Best)
+	Comparisons map[string]metrics.Comparison // keyed by FigureSchemes labels
+}
+
+// Evaluation is the full Figures 9–11 dataset.
+type Evaluation struct {
+	Options Options
+	Combos  []ComboResult
+}
+
+// runJob is one simulation to execute.
+type runJob struct {
+	comboIdx int
+	label    string // result key
+	scheme   string // controller name
+	ccPct    int    // CC spill probability (for scheme "CC")
+}
+
+// Evaluate runs the evaluation matrix: for every selected combo, L2P, L2S,
+// DSR, SNUG, and CC at every spill probability (from which CC(Best) is
+// selected by throughput, per §4.1). Simulations run concurrently but
+// results are deterministic: every run is seeded independently of
+// scheduling order.
+func Evaluate(opt Options) (*Evaluation, error) {
+	if opt.RunCycles <= 0 {
+		return nil, fmt.Errorf("experiments: RunCycles must be positive")
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = 2
+	}
+	combos := selectCombos(opt.Classes)
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
+	}
+
+	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos))}
+	var jobs []runJob
+	for i, combo := range combos {
+		ev.Combos[i] = ComboResult{
+			Combo:       combo,
+			Runs:        make(map[string]cmp.RunResult),
+			Comparisons: make(map[string]metrics.Comparison),
+		}
+		jobs = append(jobs, runJob{i, "L2P", "L2P", 0}, runJob{i, "L2S", "L2S", 0},
+			runJob{i, "DSR", "DSR", 0}, runJob{i, "SNUG", "SNUG", 0})
+		for _, pct := range CCPercents {
+			jobs = append(jobs, runJob{i, fmt.Sprintf("CC(%d%%)", pct), "CC", pct})
+		}
+	}
+
+	type jobResult struct {
+		job runJob
+		res cmp.RunResult
+		err error
+	}
+	jobCh := make(chan runJob)
+	resCh := make(chan jobResult)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cfg := opt.Cfg
+				cfg.CC.SpillPercent = j.ccPct
+				res, err := cmp.RunWorkload(cfg, j.scheme, combos[j.comboIdx].Cores, opt.RunCycles)
+				resCh <- jobResult{j, res, err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(resCh)
+	}()
+
+	var firstErr error
+	for jr := range resCh {
+		if jr.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s on %s: %w", jr.job.label, combos[jr.job.comboIdx].Name, jr.err)
+			}
+			continue
+		}
+		cr := &ev.Combos[jr.job.comboIdx]
+		if jr.job.label == "L2P" {
+			cr.Baseline = jr.res
+		}
+		cr.Runs[jr.job.label] = jr.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range ev.Combos {
+		if err := ev.Combos[i].finalize(); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// finalize selects CC(Best) and computes the Table 5 comparisons.
+func (cr *ComboResult) finalize() error {
+	bestPct, bestTput := -1, 0.0
+	for _, pct := range CCPercents {
+		r, ok := cr.Runs[fmt.Sprintf("CC(%d%%)", pct)]
+		if !ok {
+			return fmt.Errorf("experiments: combo %s missing CC(%d%%) run", cr.Combo.Name, pct)
+		}
+		if put := r.Throughput(); bestPct < 0 || put > bestTput {
+			bestPct, bestTput = pct, put
+		}
+	}
+	cr.CCBestPct = bestPct
+	cr.Runs["CC(Best)"] = cr.Runs[fmt.Sprintf("CC(%d%%)", bestPct)]
+
+	for _, label := range FigureSchemes {
+		r, ok := cr.Runs[label]
+		if !ok {
+			return fmt.Errorf("experiments: combo %s missing %s run", cr.Combo.Name, label)
+		}
+		comp, err := metrics.Compare(cr.Baseline, r)
+		if err != nil {
+			return fmt.Errorf("experiments: combo %s: %w", cr.Combo.Name, err)
+		}
+		comp.Scheme = label
+		cr.Comparisons[label] = comp
+	}
+	return nil
+}
+
+// selectCombos filters Table 8 by class labels.
+func selectCombos(classes []string) []workloads.Combo {
+	all := workloads.Table8()
+	if len(classes) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, c := range classes {
+		want[c] = true
+	}
+	var out []workloads.Combo
+	for _, c := range all {
+		if want[c.Class] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClassSeries is one figure's dataset: per class (plus AVG), per scheme,
+// the geometric-mean metric value.
+type ClassSeries struct {
+	Metric  metrics.MetricKind
+	Classes []string             // row labels: C1..C6, AVG
+	Values  map[string][]float64 // scheme label -> value per row
+}
+
+// Figure computes the Figure 9/10/11 dataset for the chosen metric.
+func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
+	classes := presentClasses(ev.Combos)
+	cs := ClassSeries{
+		Metric:  metric,
+		Classes: append(append([]string{}, classes...), "AVG"),
+		Values:  make(map[string][]float64),
+	}
+	for _, scheme := range FigureSchemes {
+		var rows []float64
+		var all []float64
+		for _, class := range classes {
+			var comps []metrics.Comparison
+			for _, cr := range ev.Combos {
+				if cr.Combo.Class == class {
+					comps = append(comps, cr.Comparisons[scheme])
+				}
+			}
+			v := metrics.ClassMean(metric, comps)
+			rows = append(rows, v)
+			all = append(all, v)
+		}
+		rows = append(rows, stats.GeoMean(all))
+		cs.Values[scheme] = rows
+	}
+	return cs
+}
+
+// presentClasses returns the ordered class labels present in the results.
+func presentClasses(combos []ComboResult) []string {
+	seen := map[string]bool{}
+	for _, c := range combos {
+		seen[c.Combo.Class] = true
+	}
+	var out []string
+	for _, c := range workloads.Classes() {
+		if seen[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

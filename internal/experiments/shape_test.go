@@ -1,0 +1,208 @@
+package experiments_test
+
+import (
+	"math"
+	"testing"
+
+	"snug/internal/config"
+	"snug/internal/core"
+	"snug/internal/experiments"
+	"snug/internal/metrics"
+)
+
+// TestTable2 pins the Formula (6) storage overhead to the paper's 3.9%.
+func TestTable2(t *testing.T) {
+	o, err := core.ComputeOverhead(core.DefaultOverheadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TagBits != 16 {
+		t.Errorf("tag field %d bits, want 16 (Table 2)", o.TagBits)
+	}
+	if o.LRUBits != 4 {
+		t.Errorf("LRU field %d bits, want 4", o.LRUBits)
+	}
+	if o.Sets != 1024 {
+		t.Errorf("sets %d, want 1024", o.Sets)
+	}
+	if math.Abs(o.Percent()-3.9) > 0.05 {
+		t.Errorf("overhead %.2f%%, paper reports 3.9%%", o.Percent())
+	}
+}
+
+// TestTable3 pins the address-width / line-size grid. The paper rounds
+// 2.01% up to 2.1%; we accept either rounding of the same arithmetic.
+func TestTable3(t *testing.T) {
+	cells, err := core.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]float64{
+		{32, 64}:  3.9,
+		{64, 64}:  5.8,
+		{32, 128}: 2.1,
+		{64, 128}: 3.1,
+	}
+	for _, c := range cells {
+		w := want[[2]int{c.AddressBits, c.BlockBytes}]
+		if math.Abs(c.Percent-w) > 0.15 {
+			t.Errorf("%d-bit / %dB: %.2f%%, paper reports %.1f%%",
+				c.AddressBits, c.BlockBytes, c.Percent, w)
+		}
+	}
+}
+
+// TestFigure1AmmpShape: ~40% of ammp's sets demand 1-4 blocks while a
+// large fraction demands beyond 2x the baseline associativity.
+func TestFigure1AmmpShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization run")
+	}
+	chz, err := experiments.Characterize(experiments.CharacterizeOptions{
+		Benchmark: "ammp", Cfg: config.TestScale(),
+		Intervals: 60, AccessesPerInterval: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := chz.MeanBucketSizes()
+	if mean[0] < 0.28 || mean[0] > 0.55 {
+		t.Errorf("ammp bucket 1~4 share %.2f, want ~0.40 (Figure 1)", mean[0])
+	}
+	if deep := mean[7]; deep < 0.30 {
+		t.Errorf("ammp bucket >=29 share %.2f, want the deep-taker mass", deep)
+	}
+}
+
+// TestFigure2VortexPhases: vortex's shallow-set share grows during its
+// middle phase (sampling intervals ~40.4%-79.2% of the run) relative to
+// the opening phase — the Figure 2 signature.
+func TestFigure2VortexPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization run")
+	}
+	const intervals = 100
+	chz, err := experiments.Characterize(experiments.CharacterizeOptions{
+		Benchmark: "vortex", Cfg: config.TestScale(),
+		Intervals: intervals, AccessesPerInterval: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opening := chz.WindowBucketSizes(5, 40)           // phase 1 (skip warm-up)
+	middle := chz.WindowBucketSizes(45, 78)           // the Figure 2 phase
+	shallowOpen := opening[0] + opening[1]            // buckets 1~4 and 5~8
+	shallowMid := middle[0] + middle[1]
+	if shallowMid <= shallowOpen+0.03 {
+		t.Errorf("vortex shallow share: opening %.3f -> middle %.3f; want a clear rise (Figure 2)",
+			shallowOpen, shallowMid)
+	}
+}
+
+// TestFigure3AppluShape: the streaming benchmark keeps essentially all
+// sets in the 1-4 bucket.
+func TestFigure3AppluShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization run")
+	}
+	chz, err := experiments.Characterize(experiments.CharacterizeOptions{
+		Benchmark: "applu", Cfg: config.TestScale(),
+		Intervals: 40, AccessesPerInterval: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := chz.MeanBucketSizes()[0]; mean < 0.9 {
+		t.Errorf("applu bucket 1~4 share %.2f, want ~1.0 (Figure 3)", mean)
+	}
+}
+
+// TestFigure9Shape runs the evaluation on the two extreme classes and
+// asserts the paper's qualitative orderings: in C1 (identical non-uniform
+// applications) SNUG beats every baseline, with CC(Best) and DSR also at
+// or above 1; in C2 (identical uniform applications) every cooperative
+// scheme stays within noise of the baseline and the shared organization
+// pays its NUCA tax.
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	ev, err := experiments.Evaluate(experiments.Options{
+		Cfg:       config.TestScale(),
+		RunCycles: 2_000_000,
+		Classes:   []string{"C1", "C2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := ev.Figure(metrics.MetricThroughput)
+	row := func(class string) map[string]float64 {
+		for i, c := range fig.Classes {
+			if c == class {
+				out := map[string]float64{}
+				for _, s := range experiments.FigureSchemes {
+					out[s] = fig.Values[s][i]
+				}
+				return out
+			}
+		}
+		t.Fatalf("class %s missing", class)
+		return nil
+	}
+
+	c1 := row("C1")
+	if c1["SNUG"] <= c1["CC(Best)"] || c1["SNUG"] <= c1["DSR"] || c1["SNUG"] <= c1["L2S"] {
+		t.Errorf("C1 ordering violated: %v (SNUG must lead — the set-level grouping class)", c1)
+	}
+	if c1["SNUG"] <= 1.01 {
+		t.Errorf("C1 SNUG %.3f, want a clear gain over L2P", c1["SNUG"])
+	}
+
+	c2 := row("C2")
+	for _, s := range []string{"CC(Best)", "DSR", "SNUG"} {
+		if c2[s] < 0.96 || c2[s] > 1.04 {
+			t.Errorf("C2 %s = %.3f, want ~1.0 (no slack to exploit)", s, c2[s])
+		}
+	}
+	if c2["L2S"] >= 1.0 {
+		t.Errorf("C2 L2S = %.3f, want < 1 (NUCA tax without capacity relief)", c2["L2S"])
+	}
+}
+
+// TestIndexFlipAblation: disabling the index-bit-flipping scheme must not
+// improve SNUG on the C1 stress test, where flipping is the mechanism that
+// finds complementary sets (paper §5).
+func TestIndexFlipAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	run := func(flip bool) float64 {
+		cfg := config.TestScale()
+		cfg.SNUG.IndexFlip = flip
+		ev, err := experiments.Evaluate(experiments.Options{
+			Cfg: cfg, RunCycles: 2_000_000, Classes: []string{"C1"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig := ev.Figure(metrics.MetricThroughput)
+		return fig.Values["SNUG"][0]
+	}
+	with, without := run(true), run(false)
+	t.Logf("C1 SNUG with flip %.4f, without %.4f", with, without)
+	if without > with+0.005 {
+		t.Errorf("disabling index flipping improved C1 (%.4f -> %.4f)", with, without)
+	}
+}
+
+// TestEvaluateValidation covers option errors.
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := experiments.Evaluate(experiments.Options{Cfg: config.TestScale()}); err == nil {
+		t.Error("zero RunCycles accepted")
+	}
+	if _, err := experiments.Evaluate(experiments.Options{
+		Cfg: config.TestScale(), RunCycles: 1000, Classes: []string{"C9"},
+	}); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

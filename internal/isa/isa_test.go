@@ -1,0 +1,22 @@
+package isa
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindALU: "alu", KindFPU: "fpu", KindMult: "mult", KindDiv: "div",
+		KindLoad: "load", KindStore: "store", KindBranch: "branch",
+		KindCall: "call", KindReturn: "return",
+	}
+	if len(want) != NumKinds {
+		t.Fatalf("NumKinds = %d, want %d", NumKinds, len(want))
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}

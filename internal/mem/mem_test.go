@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"testing"
+
+	"snug/internal/addr"
+)
+
+func TestDRAMFixedLatency(t *testing.T) {
+	d := MustDRAM(300, 0, 64)
+	if done := d.Read(1000, 0x40); done != 1300 {
+		t.Fatalf("read done at %d, want 1300", done)
+	}
+	if done := d.Write(500, 0x80); done != 800 {
+		t.Fatalf("write done at %d, want 800", done)
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDRAMBankConflicts(t *testing.T) {
+	d := MustDRAM(100, 4, 64)
+	// Same bank back-to-back: serialized.
+	d1 := d.Read(0, 0x000)
+	d2 := d.Read(0, 0x000+4*64) // same bank (stride = banks*block)
+	if d2 != d1+100 {
+		t.Fatalf("same-bank read done at %d, want %d", d2, d1+100)
+	}
+	// Different bank: parallel.
+	d3 := d.Read(0, 0x40)
+	if d3 != 100 {
+		t.Fatalf("different-bank read done at %d, want 100", d3)
+	}
+	if d.Stats().BankBusy == 0 {
+		t.Fatal("bank conflict cycles not recorded")
+	}
+}
+
+func TestDRAMRejectsBadParams(t *testing.T) {
+	if _, err := NewDRAM(0, 0, 64); err == nil {
+		t.Error("zero latency accepted")
+	}
+	if _, err := NewDRAM(100, 3, 64); err == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+}
+
+func issueAt(lat int64) func(int64, addr.Addr) int64 {
+	return func(start int64, _ addr.Addr) int64 { return start + lat }
+}
+
+func TestWriteBufferFIFOAndDrain(t *testing.T) {
+	wb := MustWriteBuffer(4)
+	for i := 0; i < 3; i++ {
+		if at := wb.Insert(10, addr.Addr(i*64), issueAt(50)); at != 10 {
+			t.Fatalf("insert %d stalled to %d with free entries", i, at)
+		}
+	}
+	if wb.Len() != 3 {
+		t.Fatalf("Len = %d", wb.Len())
+	}
+	// Draining is serial: each call schedules the head's write-back and a
+	// later call (past its completion) retires it.
+	for now := int64(100); wb.Len() > 0 && now < 1000; now += 60 {
+		wb.Drain(now, issueAt(50))
+	}
+	if wb.Len() != 0 {
+		t.Fatalf("Len after repeated drains = %d", wb.Len())
+	}
+	if wb.Stats().Drains != 3 {
+		t.Fatalf("drains = %d", wb.Stats().Drains)
+	}
+}
+
+func TestWriteBufferMerging(t *testing.T) {
+	wb := MustWriteBuffer(4)
+	wb.Insert(0, 0x100, issueAt(50))
+	wb.Insert(0, 0x100, issueAt(50)) // merges
+	if wb.Len() != 1 || wb.Stats().Merges != 1 {
+		t.Fatalf("len=%d merges=%d", wb.Len(), wb.Stats().Merges)
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	wb := MustWriteBuffer(2)
+	wb.Insert(0, 0x000, issueAt(500))
+	wb.Insert(0, 0x040, issueAt(500))
+	at := wb.Insert(0, 0x080, issueAt(500))
+	if at != 500 {
+		t.Fatalf("full-buffer insert proceeded at %d, want 500 (head retirement)", at)
+	}
+	st := wb.Stats()
+	if st.FullStalls != 1 || st.StallCycles != 500 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteBufferDirectReadAndTakeBack(t *testing.T) {
+	wb := MustWriteBuffer(4)
+	wb.Insert(0, 0x200, issueAt(50))
+	if !wb.ReadHit(0x200) {
+		t.Fatal("direct read missed a pending block")
+	}
+	if wb.Stats().DirectReads != 1 {
+		t.Fatal("direct read not counted")
+	}
+	if !wb.TakeBack(0x200) {
+		t.Fatal("TakeBack failed")
+	}
+	if wb.TakeBack(0x200) {
+		t.Fatal("double TakeBack succeeded")
+	}
+	if wb.ReadHit(0x200) {
+		t.Fatal("block still readable after TakeBack")
+	}
+}
+
+func TestWriteBufferDrainRespectsSchedule(t *testing.T) {
+	wb := MustWriteBuffer(4)
+	wb.Insert(0, 0x300, issueAt(1000))
+	wb.Drain(100, issueAt(1000)) // write-back completes at 1100 > 100
+	if wb.Len() != 1 {
+		t.Fatal("entry retired before its write-back completed")
+	}
+	wb.Drain(1100, issueAt(1000))
+	if wb.Len() != 0 {
+		t.Fatal("entry not retired at its completion time")
+	}
+}
+
+func TestWriteBufferRejectsBadCapacity(t *testing.T) {
+	if _, err := NewWriteBuffer(0); err == nil {
+		t.Fatal("zero-capacity buffer accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Package metrics computes the paper's Table 5 evaluation metrics from
+// simulation results: throughput (sum of IPCs), average weighted speedup
+// (mean of per-application relative IPCs against the L2P baseline) and fair
+// speedup (harmonic mean of relative IPCs), plus per-class geometric-mean
+// aggregation.
+package metrics
+
+import (
+	"fmt"
+
+	"snug/internal/cmp"
+	"snug/internal/stats"
+)
+
+// Comparison is one scheme's Table 5 metrics against the L2P baseline for
+// the same workload combination.
+type Comparison struct {
+	Scheme string
+
+	Throughput     float64 // Σ IPC_i(scheme)
+	BaseThroughput float64 // Σ IPC_i(baseline)
+	ThroughputNorm float64 // Throughput / BaseThroughput (Figure 9's y-axis)
+
+	AWS float64 // (1/N) Σ IPC_i(scheme)/IPC_i(baseline)   (Figure 10)
+	FS  float64 // N / Σ IPC_i(baseline)/IPC_i(scheme)     (Figure 11)
+}
+
+// Compare computes the Table 5 metrics of result against baseline. The two
+// runs must cover the same workload combination (same core count and
+// benchmark order).
+func Compare(baseline, result cmp.RunResult) (Comparison, error) {
+	if len(baseline.Cores) != len(result.Cores) {
+		return Comparison{}, fmt.Errorf("metrics: core count mismatch %d vs %d", len(baseline.Cores), len(result.Cores))
+	}
+	n := len(baseline.Cores)
+	c := Comparison{Scheme: result.Scheme}
+	sumRel := 0.0
+	sumInv := 0.0
+	for i := 0; i < n; i++ {
+		if baseline.Cores[i].Benchmark != result.Cores[i].Benchmark {
+			return Comparison{}, fmt.Errorf("metrics: core %d runs %q under baseline but %q under %s",
+				i, baseline.Cores[i].Benchmark, result.Cores[i].Benchmark, result.Scheme)
+		}
+		b, s := baseline.Cores[i].IPC, result.Cores[i].IPC
+		if b <= 0 || s <= 0 {
+			return Comparison{}, fmt.Errorf("metrics: non-positive IPC (base=%.4f scheme=%.4f) on core %d", b, s, i)
+		}
+		c.BaseThroughput += b
+		c.Throughput += s
+		sumRel += s / b
+		sumInv += b / s
+	}
+	c.ThroughputNorm = c.Throughput / c.BaseThroughput
+	c.AWS = sumRel / float64(n)
+	c.FS = float64(n) / sumInv
+	return c, nil
+}
+
+// MetricKind selects one of the three Table 5 metrics.
+type MetricKind uint8
+
+const (
+	// MetricThroughput is normalized throughput (Figure 9).
+	MetricThroughput MetricKind = iota
+	// MetricAWS is average weighted speedup (Figure 10).
+	MetricAWS
+	// MetricFS is fair speedup (Figure 11).
+	MetricFS
+)
+
+// String names the metric.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricThroughput:
+		return "throughput"
+	case MetricAWS:
+		return "average-weighted-speedup"
+	case MetricFS:
+		return "fair-speedup"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Value extracts the selected metric from a comparison.
+func (m MetricKind) Value(c Comparison) float64 {
+	switch m {
+	case MetricThroughput:
+		return c.ThroughputNorm
+	case MetricAWS:
+		return c.AWS
+	default:
+		return c.FS
+	}
+}
+
+// ClassMean aggregates one metric over the combos of a class with the
+// geometric mean, as the paper's §5 reports.
+func ClassMean(m MetricKind, comparisons []Comparison) float64 {
+	vals := make([]float64, len(comparisons))
+	for i, c := range comparisons {
+		vals[i] = m.Value(c)
+	}
+	return stats.GeoMean(vals)
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"snug/internal/cmp"
+)
+
+func mkResult(scheme string, ipcs ...float64) cmp.RunResult {
+	r := cmp.RunResult{Scheme: scheme}
+	for i, ipc := range ipcs {
+		r.Cores = append(r.Cores, cmp.CoreResult{
+			Benchmark: []string{"a", "b", "c", "d"}[i], IPC: ipc,
+		})
+	}
+	return r
+}
+
+func TestCompareTable5Metrics(t *testing.T) {
+	base := mkResult("L2P", 1.0, 2.0, 0.5, 1.0)
+	res := mkResult("SNUG", 1.2, 2.0, 0.6, 0.9)
+	c, err := Compare(base, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput = ΣIPC.
+	if math.Abs(c.Throughput-4.7) > 1e-12 || math.Abs(c.BaseThroughput-4.5) > 1e-12 {
+		t.Fatalf("throughputs %v / %v", c.Throughput, c.BaseThroughput)
+	}
+	if math.Abs(c.ThroughputNorm-4.7/4.5) > 1e-12 {
+		t.Fatalf("norm %v", c.ThroughputNorm)
+	}
+	// AWS = mean of relative IPCs = (1.2 + 1.0 + 1.2 + 0.9)/4.
+	if math.Abs(c.AWS-(1.2+1.0+1.2+0.9)/4) > 1e-12 {
+		t.Fatalf("AWS %v", c.AWS)
+	}
+	// FS = 4 / Σ(base/scheme).
+	wantFS := 4 / (1/1.2 + 1.0 + 1/1.2 + 1/0.9)
+	if math.Abs(c.FS-wantFS) > 1e-12 {
+		t.Fatalf("FS %v, want %v", c.FS, wantFS)
+	}
+}
+
+func TestCompareIdentityIsOne(t *testing.T) {
+	base := mkResult("L2P", 0.8, 1.1, 0.4, 2.0)
+	c, err := Compare(base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{c.ThroughputNorm, c.AWS, c.FS} {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("self-comparison metric %v != 1", v)
+		}
+	}
+}
+
+func TestFSPenalizesUnfairness(t *testing.T) {
+	base := mkResult("L2P", 1, 1, 1, 1)
+	// Same throughput, unfairly distributed: FS < AWS.
+	skewed := mkResult("X", 1.9, 0.1, 1, 1)
+	c, _ := Compare(base, skewed)
+	if c.FS >= c.AWS {
+		t.Fatalf("FS %v >= AWS %v for an unfair outcome", c.FS, c.AWS)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	base := mkResult("L2P", 1, 1, 1, 1)
+	if _, err := Compare(base, mkResult("X", 1, 1)); err == nil {
+		t.Error("core-count mismatch accepted")
+	}
+	bad := mkResult("X", 1, 0, 1, 1)
+	if _, err := Compare(base, bad); err == nil {
+		t.Error("zero IPC accepted")
+	}
+	swapped := mkResult("X", 1, 1, 1, 1)
+	swapped.Cores[0].Benchmark = "zzz"
+	if _, err := Compare(base, swapped); err == nil {
+		t.Error("benchmark mismatch accepted")
+	}
+}
+
+func TestMetricKindSelection(t *testing.T) {
+	c := Comparison{ThroughputNorm: 1.1, AWS: 1.2, FS: 1.3}
+	if MetricThroughput.Value(c) != 1.1 || MetricAWS.Value(c) != 1.2 || MetricFS.Value(c) != 1.3 {
+		t.Fatal("metric selection wrong")
+	}
+	if MetricThroughput.String() != "throughput" {
+		t.Fatal("metric name wrong")
+	}
+}
+
+func TestClassMeanIsGeometric(t *testing.T) {
+	comps := []Comparison{{ThroughputNorm: 2}, {ThroughputNorm: 8}}
+	if got := ClassMean(MetricThroughput, comps); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("ClassMean = %v, want geometric mean 4", got)
+	}
+}

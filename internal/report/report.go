@@ -1,0 +1,148 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, in the shape of the paper's figures: one row per workload class plus
+// the average, one column per scheme (Figures 9–11); one row per sampling-
+// interval window, one column per demand bucket (Figures 1–3).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"snug/internal/experiments"
+	"snug/internal/stackdist"
+)
+
+// WriteFigure renders a Figures 9–11 dataset as an aligned table.
+func WriteFigure(w io.Writer, title string, cs experiments.ClassSeries) error {
+	schemes := experiments.FigureSchemes
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := append([]string{"class"}, schemes...)
+	rows := [][]string{header}
+	for i, class := range cs.Classes {
+		row := []string{class}
+		for _, s := range schemes {
+			row = append(row, fmt.Sprintf("%.3f", cs.Values[s][i]))
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+// WriteFigureCSV renders the same dataset as CSV.
+func WriteFigureCSV(w io.Writer, cs experiments.ClassSeries) error {
+	schemes := experiments.FigureSchemes
+	if _, err := fmt.Fprintf(w, "class,%s\n", strings.Join(schemes, ",")); err != nil {
+		return err
+	}
+	for i, class := range cs.Classes {
+		vals := make([]string, len(schemes))
+		for j, s := range schemes {
+			vals[j] = fmt.Sprintf("%.4f", cs.Values[s][i])
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s\n", class, strings.Join(vals, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCombos renders per-combo detail: normalized throughput per scheme
+// and the CC(Best) spill probability chosen.
+func WriteCombos(w io.Writer, ev *experiments.Evaluation) error {
+	rows := [][]string{{"class", "combo", "L2S", "CC(Best)", "ccPct", "DSR", "SNUG"}}
+	for _, cr := range ev.Combos {
+		rows = append(rows, []string{
+			cr.Combo.Class, cr.Combo.Name,
+			fmt.Sprintf("%.3f", cr.Comparisons["L2S"].ThroughputNorm),
+			fmt.Sprintf("%.3f", cr.Comparisons["CC(Best)"].ThroughputNorm),
+			fmt.Sprintf("%d%%", cr.CCBestPct),
+			fmt.Sprintf("%.3f", cr.Comparisons["DSR"].ThroughputNorm),
+			fmt.Sprintf("%.3f", cr.Comparisons["SNUG"].ThroughputNorm),
+		})
+	}
+	return writeAligned(w, rows)
+}
+
+// WriteCharacterization renders a Figures 1–3 dataset: bucket shares
+// averaged over windows of sampling intervals (10 windows), ending with the
+// whole-run mean — a textual rendering of the stacked-area figures.
+func WriteCharacterization(w io.Writer, title string, c *stackdist.Characterization) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	n := c.Intervals()
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "(no intervals)")
+		return err
+	}
+	header := append([]string{"intervals"}, c.Labels...)
+	rows := [][]string{header}
+	windows := 10
+	if n < windows {
+		windows = n
+	}
+	for wi := 0; wi < windows; wi++ {
+		from := wi * n / windows
+		to := (wi + 1) * n / windows
+		row := []string{fmt.Sprintf("%d-%d", from+1, to)}
+		for j := 0; j < c.M; j++ {
+			row = append(row, fmt.Sprintf("%5.1f%%", c.BucketOver[j].WindowMean(from, to)*100))
+		}
+		rows = append(rows, row)
+	}
+	mean := append([]string{"mean"}, nil...)
+	for _, v := range c.MeanBucketSizes() {
+		mean = append(mean, fmt.Sprintf("%5.1f%%", v*100))
+	}
+	rows = append(rows, mean)
+	return writeAligned(w, rows)
+}
+
+// WriteCharacterizationCSV emits the full per-interval series.
+func WriteCharacterizationCSV(w io.Writer, c *stackdist.Characterization) error {
+	if _, err := fmt.Fprintf(w, "interval,%s\n", strings.Join(c.Labels, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < c.Intervals(); i++ {
+		vals := make([]string, c.M)
+		for j := 0; j < c.M; j++ {
+			vals[j] = fmt.Sprintf("%.4f", c.BucketOver[j].Values[i])
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s\n", i+1, strings.Join(vals, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAligned prints rows with columns padded to equal width.
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

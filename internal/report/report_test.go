@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"snug/internal/experiments"
+	"snug/internal/metrics"
+	"snug/internal/stackdist"
+)
+
+func sampleSeries() experiments.ClassSeries {
+	cs := experiments.ClassSeries{
+		Metric:  metrics.MetricThroughput,
+		Classes: []string{"C1", "AVG"},
+		Values:  map[string][]float64{},
+	}
+	for i, s := range experiments.FigureSchemes {
+		cs.Values[s] = []float64{1.0 + float64(i)/100, 1.0 + float64(i)/200}
+	}
+	return cs
+}
+
+func TestWriteFigure(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFigure(&b, "Figure 9", sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 9", "C1", "AVG", "SNUG", "CC(Best)", "1.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFigureCSV(&b, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "class,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+}
+
+func TestWriteCharacterization(t *testing.T) {
+	c := stackdist.NewCharacterization(32, 8)
+	for i := 0; i < 20; i++ {
+		c.Add(stackdist.IntervalResult{
+			Interval:    i + 1,
+			BucketSizes: []float64{0.4, 0.1, 0, 0, 0, 0, 0, 0.5},
+			MeanDemand:  17, TakerFraction: 0.5,
+		})
+	}
+	var b strings.Builder
+	if err := WriteCharacterization(&b, "Figure 1", c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 1", "1~4", ">=29", "mean", "40.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty characterization must not panic.
+	var e strings.Builder
+	if err := WriteCharacterization(&e, "x", stackdist.NewCharacterization(32, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCharacterizationCSV(t *testing.T) {
+	c := stackdist.NewCharacterization(32, 8)
+	c.Add(stackdist.IntervalResult{Interval: 1, BucketSizes: make([]float64, 8)})
+	var b strings.Builder
+	if err := WriteCharacterizationCSV(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(b.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want 2", len(lines))
+	}
+}

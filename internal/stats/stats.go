@@ -1,0 +1,234 @@
+// Package stats provides the counting, histogramming and aggregation
+// primitives used throughout the simulator: plain counters, fixed-bucket
+// histograms, interval samplers for the paper's characterization experiments
+// (Figures 1–3), and the geometric/harmonic means used by the evaluation
+// metrics (Table 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which must be non-negative).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("stats: Counter.Add with negative delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c / (c + other), or 0 when both are zero. It is the shape of
+// the paper's σ = shadowHits / (realHits + shadowHits) measurement.
+func Ratio(num, denomExtra int64) float64 {
+	d := num + denomExtra
+	if d == 0 {
+		return 0
+	}
+	return float64(num) / float64(d)
+}
+
+// Histogram is a fixed-width bucket histogram over the integer range
+// [1, max]. Values below 1 clamp to the first bucket; values above max clamp
+// to the last. It implements the paper's bucketization of block_required
+// values into M equal sub-ranges of [1, A_threshold] (Formula 4/5).
+type Histogram struct {
+	max     int
+	buckets []int64
+	total   int64
+}
+
+// NewHistogram builds a histogram over [1, max] with bucket count buckets.
+// max must be divisible by buckets so all buckets have equal width, mirroring
+// the paper's restriction that A_threshold and M are powers of two.
+func NewHistogram(max, buckets int) (*Histogram, error) {
+	if max <= 0 || buckets <= 0 || max%buckets != 0 {
+		return nil, fmt.Errorf("stats: invalid histogram shape max=%d buckets=%d", max, buckets)
+	}
+	return &Histogram{max: max, buckets: make([]int64, buckets)}, nil
+}
+
+// MustHistogram is NewHistogram but panics on error.
+func MustHistogram(max, buckets int) *Histogram {
+	h, err := NewHistogram(max, buckets)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one occurrence of value v.
+func (h *Histogram) Observe(v int) {
+	if v < 1 {
+		v = 1
+	}
+	if v > h.max {
+		v = h.max
+	}
+	width := h.max / len(h.buckets)
+	h.buckets[(v-1)/width]++
+	h.total++
+}
+
+// Buckets returns a copy of the raw bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Fractions returns each bucket's share of the total, or all zeros when
+// empty. This is size_bucket_j(I) of Formula (5) when one observation is
+// recorded per set.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.buckets))
+	if h.total == 0 {
+		return out
+	}
+	for i, b := range h.buckets {
+		out[i] = float64(b) / float64(h.total)
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Reset clears all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.total = 0
+}
+
+// BucketLabel formats the value range of bucket i, e.g. "1~4" or ">=29".
+func (h *Histogram) BucketLabel(i int) string {
+	width := h.max / len(h.buckets)
+	lo := i*width + 1
+	if i == len(h.buckets)-1 {
+		return fmt.Sprintf(">=%d", lo)
+	}
+	return fmt.Sprintf("%d~%d", lo, (i+1)*width)
+}
+
+// GeoMean returns the geometric mean of xs. It panics on non-positive
+// inputs and returns 0 for an empty slice. The paper reports per-class
+// results as geometric means over the combos in the class.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs, the shape of the fair
+// speedup metric. It panics on non-positive inputs and returns 0 for an
+// empty slice.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: HarmonicMean of non-positive value %g", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Series is a named sequence of sampled values, one per interval — the unit
+// Figures 1–3 plot (one series per bucket over 1000 sampling intervals).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// MeanValue returns the mean of the series (0 if empty).
+func (s *Series) MeanValue() float64 { return Mean(s.Values) }
+
+// WindowMean returns the mean over the half-open interval [from, to) of
+// sample indices, clamped to the available range; 0 if the window is empty.
+func (s *Series) WindowMean(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.Values) {
+		to = len(s.Values)
+	}
+	if from >= to {
+		return 0
+	}
+	return Mean(s.Values[from:to])
+}
+
+// Distribution summarizes a float slice: used by tests asserting workload
+// model shapes.
+type Distribution struct {
+	Min, Max, Mean, P50 float64
+}
+
+// Summarize computes a Distribution for xs (zero value for empty input).
+func Summarize(xs []float64) Distribution {
+	if len(xs) == 0 {
+		return Distribution{}
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	return Distribution{
+		Min:  c[0],
+		Max:  c[len(c)-1],
+		Mean: Mean(c),
+		P50:  c[len(c)/2],
+	}
+}
+
+// FormatFractions renders fractions as a compact percentage string for
+// logs and example output.
+func FormatFractions(fr []float64) string {
+	parts := make([]string, len(fr))
+	for i, f := range fr {
+		parts[i] = fmt.Sprintf("%.1f%%", f*100)
+	}
+	return strings.Join(parts, " ")
+}

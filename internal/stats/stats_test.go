@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d", c.Value())
+	}
+}
+
+func TestCounterRejectsNegativeAdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(0, 0); got != 0 {
+		t.Errorf("Ratio(0,0) = %v, want 0", got)
+	}
+	if got := Ratio(1, 7); got != 0.125 {
+		t.Errorf("Ratio(1,7) = %v, want 0.125 (the paper's sigma = 1/p threshold)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// The paper's configuration: A_threshold = 32, M = 8 buckets.
+	h := MustHistogram(32, 8)
+	for v := 1; v <= 32; v++ {
+		h.Observe(v)
+	}
+	for i, b := range h.Buckets() {
+		if b != 4 {
+			t.Errorf("bucket %d = %d, want 4", i, b)
+		}
+	}
+	if h.Total() != 32 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	for i, f := range fr {
+		if math.Abs(f-0.125) > 1e-12 {
+			t.Errorf("fraction %d = %v, want 0.125", i, f)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := MustHistogram(32, 8)
+	h.Observe(0)   // clamps to 1
+	h.Observe(-5)  // clamps to 1
+	h.Observe(100) // clamps to 32
+	b := h.Buckets()
+	if b[0] != 2 || b[7] != 1 {
+		t.Fatalf("buckets = %v, want first=2 last=1", b)
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h := MustHistogram(32, 8)
+	if got := h.BucketLabel(0); got != "1~4" {
+		t.Errorf("label 0 = %q", got)
+	}
+	if got := h.BucketLabel(7); got != ">=29" {
+		t.Errorf("label 7 = %q, want >=29 (Figure 1 legend)", got)
+	}
+}
+
+func TestHistogramRejectsUnevenShape(t *testing.T) {
+	if _, err := NewHistogram(30, 8); err == nil {
+		t.Fatal("30/8 histogram accepted; buckets must divide the range")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	// FS for two apps with relative IPCs 1 and 0.5: 2/(1/1+1/0.5) = 0.667.
+	got := HarmonicMean([]float64{1, 0.5})
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("HarmonicMean = %v, want 2/3", got)
+	}
+}
+
+func TestMeansOrderingProperty(t *testing.T) {
+	// harmonic <= geometric <= arithmetic for positive inputs.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		h, g, a := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g+eps && g <= a+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := Series{Name: "x"}
+	for i := 1; i <= 10; i++ {
+		s.Append(float64(i))
+	}
+	if got := s.MeanValue(); got != 5.5 {
+		t.Errorf("MeanValue = %v", got)
+	}
+	if got := s.WindowMean(0, 5); got != 3 {
+		t.Errorf("WindowMean(0,5) = %v", got)
+	}
+	if got := s.WindowMean(8, 100); got != 9.5 {
+		t.Errorf("WindowMean clamped = %v", got)
+	}
+	if got := s.WindowMean(5, 5); got != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{3, 1, 2})
+	if d.Min != 1 || d.Max != 3 || d.Mean != 2 || d.P50 != 2 {
+		t.Fatalf("Summarize = %+v", d)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 equal draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(8)]++
+	}
+	for i, c := range counts {
+		if c < n/8-n/80 || c > n/8+n/80 {
+			t.Errorf("bucket %d count %d deviates >10%% from uniform", i, c)
+		}
+	}
+}
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Fatal("Mix64 collision on adjacent inputs")
+	}
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"testing"
+
+	"snug/internal/addr"
+	"snug/internal/isa"
+)
+
+var testGeom = addr.MustGeometry(64, 64)
+
+func TestRegistryCompleteness(t *testing.T) {
+	// Table 6's twelve evaluation benchmarks plus applu for Figure 3.
+	want := map[string]Class{
+		"ammp": ClassA, "parser": ClassA, "vortex": ClassA,
+		"apsi": ClassB, "gcc": ClassB,
+		"vpr": ClassC, "art": ClassC, "mcf": ClassC, "bzip2": ClassC,
+		"gzip": ClassD, "swim": ClassD, "mesa": ClassD,
+		"applu": ClassChar,
+	}
+	if len(Names()) != len(want) {
+		t.Fatalf("registry has %d models, want %d: %v", len(Names()), len(want), Names())
+	}
+	for name, class := range want {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if p.Class != class {
+			t.Errorf("%s class %s, want %s", name, p.Class, class)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestTable6CapacityClasses(t *testing.T) {
+	// Class A/C demand > 1 MB (mean > 16 ways/set); class B/D below.
+	for _, name := range Names() {
+		p := MustByName(name)
+		ways := p.MeanDemandWays()
+		switch p.Class {
+		case ClassA, ClassC:
+			if ways <= 16 {
+				t.Errorf("%s (class %s): mean demand %.1f ways, want > 16 (1 MB)", name, p.Class, ways)
+			}
+		case ClassB, ClassD:
+			if ways >= 16 {
+				t.Errorf("%s (class %s): mean demand %.1f ways, want < 16", name, p.Class, ways)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := MustByName("ammp")
+	g1 := MustGenerator(p, testGeom, 42, 10_000)
+	g2 := MustGenerator(p, testGeom, 42, 10_000)
+	var a, b isa.Instr
+	for i := 0; i < 20_000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("instruction %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p := MustByName("ammp")
+	g1 := MustGenerator(p, testGeom, 1, 10_000)
+	g2 := MustGenerator(p, testGeom, 2, 10_000)
+	var a, b isa.Instr
+	same := 0
+	for i := 0; i < 1000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a == b {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestDemandMapSharedAcrossInstances(t *testing.T) {
+	p := MustByName("ammp")
+	g1 := MustGenerator(p, testGeom, 1, 10_000)
+	g2 := MustGenerator(p, testGeom, 99, 10_000)
+	// Without salts, instances agree on every set's demand depth.
+	for s := uint32(0); s < uint32(testGeom.Sets()); s++ {
+		if g1.DemandDepth(s) != g2.DemandDepth(s) {
+			t.Fatalf("set %d depth differs across unsalted instances", s)
+		}
+	}
+	// With distinct salts the maps partially decorrelate but keep the
+	// distribution (the correlated anchor fraction stays equal).
+	g2.WithDemandSalt(7)
+	differ := 0
+	for s := uint32(0); s < uint32(testGeom.Sets()); s++ {
+		if g1.DemandDepth(s) != g2.DemandDepth(s) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("salt changed nothing")
+	}
+	if differ == testGeom.Sets() {
+		t.Fatal("salt decorrelated every set; expected partial (page-level) correlation")
+	}
+}
+
+func TestAmmpDemandDistributionMatchesFigure1(t *testing.T) {
+	// Figure 1: ~40% of ammp's sets demand 1-4 blocks; ~half are deep
+	// takers. Check the assigned map against the profile's bands.
+	g := MustGenerator(MustByName("ammp"), addr.MustGeometry(64, 1024), 3, 10_000)
+	shallow, deep := 0, 0
+	for s := uint32(0); s < 1024; s++ {
+		d := g.DemandDepth(s)
+		if d <= 4 {
+			shallow++
+		}
+		if d > 32 {
+			deep++
+		}
+	}
+	if f := float64(shallow) / 1024; f < 0.33 || f > 0.47 {
+		t.Errorf("ammp shallow-set fraction %.2f, want ~0.40", f)
+	}
+	if f := float64(deep) / 1024; f < 0.42 || f > 0.58 {
+		t.Errorf("ammp deep-set fraction %.2f, want ~0.50", f)
+	}
+}
+
+func TestVortexPhases(t *testing.T) {
+	p := MustByName("vortex")
+	if len(p.Phases) != 3 {
+		t.Fatalf("vortex has %d phases, want 3 (Figure 2)", len(p.Phases))
+	}
+	g := MustGenerator(p, testGeom, 5, 2_000)
+	var in isa.Instr
+	seen := map[int]bool{g.PhaseIndex(): true}
+	for i := 0; i < 2_000_000 && len(seen) < 3; i++ {
+		g.Next(&in)
+		seen[g.PhaseIndex()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only phases %v visited", seen)
+	}
+}
+
+func TestStreamComposition(t *testing.T) {
+	p := MustByName("parser")
+	g := MustGenerator(p, testGeom, 9, 100_000)
+	var in isa.Instr
+	var counts [isa.NumKinds]int
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		counts[in.Kind]++
+		if in.Kind == isa.KindLoad || in.Kind == isa.KindStore {
+			if testGeom.Index(in.Addr) >= uint32(testGeom.Sets()) {
+				t.Fatal("access outside geometry")
+			}
+		}
+	}
+	mem := counts[isa.KindLoad] + counts[isa.KindStore]
+	if mem == 0 || counts[isa.KindBranch] == 0 || counts[isa.KindALU] == 0 {
+		t.Fatalf("degenerate mix: %v", counts)
+	}
+	memFrac := float64(mem) / n
+	if memFrac < 0.05 || memFrac > 0.5 {
+		t.Errorf("memory fraction %.2f implausible", memFrac)
+	}
+	storeFrac := float64(counts[isa.KindStore]) / float64(mem)
+	if storeFrac < 0.01 || storeFrac > 0.2 {
+		t.Errorf("store fraction %.2f; stores are per touch, expect well below StoreFrac=%.2f",
+			storeFrac, p.StoreFrac)
+	}
+	if counts[isa.KindCall] != counts[isa.KindReturn] {
+		t.Errorf("calls %d != returns %d", counts[isa.KindCall], counts[isa.KindReturn])
+	}
+}
+
+func TestTouchPoolStackDistances(t *testing.T) {
+	// With decay ρ, small stack distances dominate but the full depth is
+	// exercised — the property block_required measurement relies on.
+	p := MustByName("mcf") // deep uniform sets
+	g := MustGenerator(p, testGeom, 11, 100_000)
+	d := g.DemandDepth(0)
+	if d < 32 {
+		t.Fatalf("mcf depth %d, want deep", d)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 20_000; i++ {
+		seen[g.touchPool(0)] = true
+	}
+	if len(seen) < d*3/4 {
+		t.Errorf("only %d/%d pool slots touched; tail never exercised", len(seen), d)
+	}
+}
+
+func TestRecencyPermutationInvariant(t *testing.T) {
+	g := MustGenerator(MustByName("vortex"), testGeom, 13, 1_000)
+	var in isa.Instr
+	for i := 0; i < 300_000; i++ { // cycles through phases repeatedly
+		g.Next(&in)
+	}
+	for s := range g.recency {
+		seen := map[uint8]bool{}
+		for _, id := range g.recency[s] {
+			if int(id) >= len(g.recency[s]) {
+				t.Fatalf("set %d: slot id %d out of range %d", s, id, len(g.recency[s]))
+			}
+			if seen[id] {
+				t.Fatalf("set %d: duplicate slot id %d", s, id)
+			}
+			seen[id] = true
+		}
+		if len(g.recency[s]) != g.DemandDepth(uint32(s)) {
+			t.Fatalf("set %d: recency length %d != depth %d", s, len(g.recency[s]), g.DemandDepth(uint32(s)))
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	base := MustByName("ammp")
+	bad := base
+	bad.Phases = []Phase{{FracOfRun: 0.5, Bands: base.Phases[0].Bands}}
+	if err := bad.Validate(); err == nil {
+		t.Error("phase fractions not summing to 1 accepted")
+	}
+	bad = base
+	bad.Phases = []Phase{{FracOfRun: 1, Bands: []DemandBand{{Frac: 0.5, MinDepth: 1, MaxDepth: 4}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("band fractions not summing to 1 accepted")
+	}
+	bad = base
+	bad.L2Every = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("L2Every=0 accepted")
+	}
+	if _, err := ByName("quake3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package workloads encodes the paper's evaluation matrix: the Table 6
+// benchmark classification, the Table 7 workload-combination classes C1–C6,
+// and the 21 concrete quad-core combinations of Table 8.
+package workloads
+
+import (
+	"fmt"
+
+	"snug/internal/trace"
+)
+
+// Combo is one quad-core workload combination.
+type Combo struct {
+	Class string   // "C1".."C6"
+	Name  string   // short identifier, e.g. "4xammp" or "ammp+parser+bzip2+mcf"
+	Cores []string // benchmark per core, length 4
+}
+
+// Table8 returns the paper's 21 workload combinations grouped by class.
+//
+// C1/C2 are stress tests: four identical applications with capacity sharing
+// but no data sharing (each instance gets a disjoint address space, which
+// internal/addr guarantees). C3–C6 mix two class A applications with class
+// B/C/D applications per Table 7. The paper's Table 8 lists "4 vertex";
+// that is its typo for vortex.
+func Table8() []Combo {
+	mk := func(class string, cores ...string) Combo {
+		name := cores[0]
+		if cores[0] == cores[1] && cores[1] == cores[2] && cores[2] == cores[3] {
+			name = "4x" + cores[0]
+		} else {
+			name = cores[0] + "+" + cores[1] + "+" + cores[2] + "+" + cores[3]
+		}
+		return Combo{Class: class, Name: name, Cores: cores}
+	}
+	return []Combo{
+		// C1: stress tests from class A.
+		mk("C1", "ammp", "ammp", "ammp", "ammp"),
+		mk("C1", "parser", "parser", "parser", "parser"),
+		mk("C1", "vortex", "vortex", "vortex", "vortex"),
+		// C2: stress tests from class C.
+		mk("C2", "vpr", "vpr", "vpr", "vpr"),
+		mk("C2", "bzip2", "bzip2", "bzip2", "bzip2"),
+		mk("C2", "mcf", "mcf", "mcf", "mcf"),
+		mk("C2", "art", "art", "art", "art"),
+		// C3: 2×A + 2×C.
+		mk("C3", "ammp", "parser", "bzip2", "mcf"),
+		mk("C3", "parser", "vortex", "mcf", "art"),
+		mk("C3", "vortex", "ammp", "art", "vpr"),
+		// C4: 2×A + 1×B + 1×C.
+		mk("C4", "ammp", "parser", "apsi", "bzip2"),
+		mk("C4", "parser", "vortex", "gcc", "mcf"),
+		mk("C4", "vortex", "ammp", "apsi", "art"),
+		mk("C4", "ammp", "parser", "gcc", "vpr"),
+		// C5: 2×A + 2×D.
+		mk("C5", "ammp", "parser", "swim", "mesa"),
+		mk("C5", "parser", "vortex", "mesa", "gzip"),
+		mk("C5", "vortex", "ammp", "swim", "gzip"),
+		// C6: 2×A + 1×B + 1×D.
+		mk("C6", "vortex", "ammp", "apsi", "gzip"),
+		mk("C6", "parser", "vortex", "gcc", "mesa"),
+		mk("C6", "ammp", "parser", "apsi", "swim"),
+		mk("C6", "vortex", "ammp", "gcc", "mesa"),
+	}
+}
+
+// Classes returns the class labels in order.
+func Classes() []string { return []string{"C1", "C2", "C3", "C4", "C5", "C6"} }
+
+// ByClass returns Table 8 grouped by class label.
+func ByClass() map[string][]Combo {
+	m := make(map[string][]Combo)
+	for _, c := range Table8() {
+		m[c.Class] = append(m[c.Class], c)
+	}
+	return m
+}
+
+// Validate cross-checks Table 8 against the Table 6 classification embedded
+// in the benchmark models: stress-test classes use the right benchmark
+// class, and every mixed class has two class A members plus the B/C/D
+// members Table 7 prescribes.
+func Validate() error {
+	for _, combo := range Table8() {
+		if len(combo.Cores) != 4 {
+			return fmt.Errorf("workloads: combo %s has %d cores, want 4", combo.Name, len(combo.Cores))
+		}
+		counts := map[trace.Class]int{}
+		for _, b := range combo.Cores {
+			p, err := trace.ByName(b)
+			if err != nil {
+				return fmt.Errorf("workloads: combo %s: %v", combo.Name, err)
+			}
+			counts[p.Class]++
+		}
+		want := map[string]map[trace.Class]int{
+			"C1": {trace.ClassA: 4},
+			"C2": {trace.ClassC: 4},
+			"C3": {trace.ClassA: 2, trace.ClassC: 2},
+			"C4": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassC: 1},
+			"C5": {trace.ClassA: 2, trace.ClassD: 2},
+			"C6": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassD: 1},
+		}[combo.Class]
+		if want == nil {
+			return fmt.Errorf("workloads: combo %s has unknown class %s", combo.Name, combo.Class)
+		}
+		for cls, n := range want {
+			if counts[cls] != n {
+				return fmt.Errorf("workloads: combo %s (%s) has %d class-%s members, want %d",
+					combo.Name, combo.Class, counts[cls], cls, n)
+			}
+		}
+	}
+	return nil
+}

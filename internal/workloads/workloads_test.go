@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestTable8Has21Combos(t *testing.T) {
+	combos := Table8()
+	if len(combos) != 21 {
+		t.Fatalf("Table 8 has %d combos, want 21", len(combos))
+	}
+	perClass := map[string]int{}
+	for _, c := range combos {
+		perClass[c.Class]++
+	}
+	want := map[string]int{"C1": 3, "C2": 4, "C3": 3, "C4": 4, "C5": 3, "C6": 4}
+	for cls, n := range want {
+		if perClass[cls] != n {
+			t.Errorf("class %s has %d combos, want %d", cls, perClass[cls], n)
+		}
+	}
+}
+
+func TestTable8MatchesTable7Composition(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressTestsAreIdenticalApps(t *testing.T) {
+	for _, c := range Table8() {
+		if c.Class != "C1" && c.Class != "C2" {
+			continue
+		}
+		for _, b := range c.Cores[1:] {
+			if b != c.Cores[0] {
+				t.Errorf("stress combo %s mixes %s and %s", c.Name, c.Cores[0], b)
+			}
+		}
+	}
+}
+
+func TestMixedCombosAreDistinct(t *testing.T) {
+	// Within C3-C6, the two class A members must be different applications
+	// ("2 different applications from class A", Table 7).
+	for _, c := range Table8() {
+		if c.Class == "C1" || c.Class == "C2" {
+			continue
+		}
+		seen := map[string]int{}
+		for _, b := range c.Cores {
+			seen[b]++
+		}
+		for b, n := range seen {
+			if n > 1 {
+				t.Errorf("combo %s schedules %s %d times", c.Name, b, n)
+			}
+		}
+	}
+}
+
+func TestByClassPartition(t *testing.T) {
+	m := ByClass()
+	total := 0
+	for _, cls := range Classes() {
+		total += len(m[cls])
+	}
+	if total != 21 {
+		t.Fatalf("ByClass covers %d combos", total)
+	}
+}
+
+func TestComboNames(t *testing.T) {
+	for _, c := range Table8() {
+		if c.Name == "" {
+			t.Fatal("unnamed combo")
+		}
+		if c.Class == "C1" && c.Name[:2] != "4x" {
+			t.Errorf("stress combo named %q, want 4x prefix", c.Name)
+		}
+	}
+}
