@@ -12,7 +12,7 @@
 // (e.g. SNUG_avg, DSR_avg) so `go test -bench` output documents the
 // reproduced shape next to the timing. Absolute values are expected to
 // differ from the paper (synthetic workloads, scaled system); orderings
-// and crossovers are the reproduction target — see EXPERIMENTS.md.
+// and crossovers are the reproduction target — see DESIGN.md.
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"snug/internal/core"
 	"snug/internal/experiments"
 	"snug/internal/metrics"
+	"snug/internal/sweep"
 )
 
 // benchCycles keeps individual simulations short enough for -bench runs
@@ -86,8 +87,9 @@ func figure(b *testing.B, metric metrics.MetricKind) {
 	b.Helper()
 	var avg map[string]float64
 	for i := 0; i < b.N; i++ {
+		// Parallelism 0 = GOMAXPROCS, via the sweep engine's default.
 		ev, err := experiments.Evaluate(experiments.Options{
-			Cfg: config.TestScale(), RunCycles: benchCycles, Parallelism: 2,
+			Cfg: config.TestScale(), RunCycles: benchCycles,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -169,6 +171,27 @@ func BenchmarkAblationKeepStranded(b *testing.B) {
 	ablate(b, func(c *config.System) { c.SNUG.DropOnFlip = false })
 }
 
+// BenchmarkSweepEngine measures the sweep engine's per-job orchestration
+// overhead (seed derivation, scheduling, collection) with no-op jobs — the
+// fixed cost the engine adds on top of each simulation.
+func BenchmarkSweepEngine(b *testing.B) {
+	jobs := make([]sweep.Job, 64)
+	for i := range jobs {
+		jobs[i] = sweep.Job{
+			Key: fmt.Sprintf("job-%02d", i),
+			Run: func(seed uint64) (cmp.RunResult, error) {
+				return cmp.RunResult{Cycles: int64(seed)}, nil
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(sweep.Options{}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorSpeed measures raw simulation throughput in simulated
 // cycles per wall-clock second.
 func BenchmarkSimulatorSpeed(b *testing.B) {
@@ -187,5 +210,3 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	}
 	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
-
-var _ = fmt.Sprintf // keep fmt for debug builds

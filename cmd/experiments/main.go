@@ -6,7 +6,9 @@
 //
 //	experiments                         # all classes, all three figures
 //	experiments -classes C1,C5          # subset
-//	experiments -cycles 4000000 -par 4  # longer runs, more workers
+//	experiments -cycles 4000000 -par 4  # longer runs, fixed worker count
+//	experiments -out sweep.json         # checkpoint completed runs
+//	experiments -out sweep.json -resume # continue an interrupted sweep
 //	experiments -ablation               # SNUG design-choice ablations
 package main
 
@@ -21,13 +23,18 @@ import (
 	"snug/internal/experiments"
 	"snug/internal/metrics"
 	"snug/internal/report"
+	"snug/internal/sweep"
 )
 
 func main() {
 	cycles := flag.Int64("cycles", 2_000_000, "cycles per simulation")
-	par := flag.Int("par", 2, "concurrent simulations")
+	par := flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	classes := flag.String("classes", "", "comma-separated class subset (C1..C6); empty = all")
+	schemes := flag.String("schemes", "", "comma-separated scheme subset (L2S,CC,DSR,SNUG); empty = all; L2P always runs")
 	csvDir := flag.String("csv", "", "directory for CSV output (empty = none)")
+	out := flag.String("out", "", "sweep results store: completed runs are checkpointed here as JSON lines")
+	resume := flag.Bool("resume", false, "resume from -out, skipping runs already checkpointed")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
 	ablation := flag.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
 	fullScale := flag.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
 	flag.Parse()
@@ -38,16 +45,36 @@ func main() {
 	}
 
 	if *ablation {
-		runAblation(cfg, *cycles)
+		runAblation(cfg, *cycles, *par)
 		return
+	}
+
+	if *resume && *out == "" {
+		fatal(fmt.Errorf("-resume requires -out"))
+	}
+	if *out != "" && !*resume {
+		// Never silently destroy prior results: a completed checkpoint may
+		// represent hours of simulation.
+		if st, err := os.Stat(*out); err == nil && st.Size() > 0 {
+			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete it for a fresh sweep", *out))
+		}
 	}
 
 	var cls []string
 	if *classes != "" {
 		cls = strings.Split(*classes, ",")
 	}
+	var sch []string
+	if *schemes != "" {
+		sch = strings.Split(*schemes, ",")
+	}
+	var progress func(sweep.Progress)
+	if !*quiet {
+		progress = func(p sweep.Progress) { fmt.Fprintln(os.Stderr, report.ProgressLine(p)) }
+	}
 	ev, err := experiments.Evaluate(experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
+		Schemes: sch, Checkpoint: *out, Progress: progress,
 	})
 	if err != nil {
 		fatal(err)
@@ -89,7 +116,7 @@ func main() {
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(base config.System, cycles int64) {
+func runAblation(base config.System, cycles int64, par int) {
 	bench := []string{"ammp", "parser", "swim", "mesa"}
 	type variant struct {
 		name string
@@ -105,18 +132,29 @@ func runAblation(base config.System, cycles int64) {
 		{"shadow 8-way", func(c *config.System) { c.SNUG.ShadowWays = 8 }},
 		{"stage I x2", func(c *config.System) { c.SNUG.StageICycles *= 2 }},
 	}
-	baseline, err := cmp.RunWorkload(base, "L2P", bench, cycles)
+	// All jobs share one seed key so every variant sees the same instruction
+	// streams as the L2P baseline it is normalized against.
+	seedKey := "ablation/" + strings.Join(bench, "+")
+	job := func(key, scheme string, mut func(*config.System)) sweep.Job {
+		return sweep.Job{Key: key, SeedKey: seedKey, Run: func(seed uint64) (cmp.RunResult, error) {
+			cfg := base
+			cfg.Seed = seed
+			mut(&cfg)
+			return cmp.RunWorkload(cfg, scheme, bench, cycles)
+		}}
+	}
+	jobs := []sweep.Job{job("L2P", "L2P", func(*config.System) {})}
+	for _, v := range variants {
+		jobs = append(jobs, job(v.name, "SNUG", v.mut))
+	}
+	results, err := sweep.Run(sweep.Options{Parallelism: par, BaseSeed: base.Seed}, jobs)
 	if err != nil {
 		fatal(err)
 	}
+	baseline := results["L2P"]
 	fmt.Printf("SNUG ablations on %v (normalized throughput vs L2P %.4f):\n", bench, baseline.Throughput())
 	for _, v := range variants {
-		cfg := base
-		v.mut(&cfg)
-		r, err := cmp.RunWorkload(cfg, "SNUG", bench, cycles)
-		if err != nil {
-			fatal(err)
-		}
+		r := results[v.name]
 		fmt.Printf("  %-26s %.4f  (spills=%d case2=%d retrHits=%d)\n",
 			v.name, r.Throughput()/baseline.Throughput(),
 			r.Report.Spills, 0, r.Report.RetrievalHits)

@@ -1,9 +1,13 @@
-// Command snugsim runs one quad-core workload combination under one LLC
-// management scheme and reports per-core and scheme-level statistics.
+// Command snugsim runs one quad-core workload combination under one or more
+// LLC management schemes and reports per-core and scheme-level statistics.
+// Runs go through the sweep engine (internal/sweep): every scheme of one
+// workload sees the same seed-derived instruction streams, so side-by-side
+// scheme numbers are paired — even across separate invocations.
 //
 // Usage:
 //
 //	snugsim -scheme SNUG -workload ammp,parser,swim,mesa -cycles 2000000
+//	snugsim -scheme L2P,CC,SNUG -workload 4xammp   # paired comparison table
 //	snugsim -scheme CC -ccpct 75 -workload 4xammp
 //	snugsim -list
 package main
@@ -16,16 +20,19 @@ import (
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/sweep"
 	"snug/internal/trace"
 	"snug/internal/workloads"
 )
 
 func main() {
-	scheme := flag.String("scheme", "SNUG", "L2 scheme: L2P, L2S, CC, DSR or SNUG")
+	scheme := flag.String("scheme", "SNUG",
+		"L2 scheme (L2P, L2S, CC, DSR or SNUG), or a comma-separated list to compare")
 	workload := flag.String("workload", "ammp,parser,swim,mesa",
 		"comma-separated benchmark per core, a Table 8 combo name, or 4x<bench>")
 	cycles := flag.Int64("cycles", 5_000_000, "cycles to simulate")
 	ccpct := flag.Int("ccpct", 100, "CC spill probability in percent (0,25,50,75,100)")
+	par := flag.Int("par", 0, "concurrent simulations when comparing schemes (0 = GOMAXPROCS)")
 	scale := flag.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
 	seed := flag.Uint64("seed", 0, "override simulation seed (0 = default)")
 	list := flag.Bool("list", false, "list benchmarks, combos and schemes, then exit")
@@ -54,11 +61,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := cmp.RunWorkload(cfg, *scheme, bench, *cycles)
+	schemes := strings.Split(*scheme, ",")
+	var jobs []sweep.Job
+	for _, s := range schemes {
+		s := s
+		jobs = append(jobs, sweep.Job{
+			Key:     s,
+			SeedKey: strings.Join(bench, "+"), // one stream per workload, shared by every scheme
+			Run: func(jobSeed uint64) (cmp.RunResult, error) {
+				c := cfg
+				c.Seed = jobSeed
+				return cmp.RunWorkload(c, s, bench, *cycles)
+			},
+		})
+	}
+	results, err := sweep.Run(sweep.Options{Parallelism: *par, BaseSeed: cfg.Seed}, jobs)
 	if err != nil {
 		fatal(err)
 	}
 
+	if len(schemes) > 1 {
+		fmt.Printf("workload=%s cycles=%d\n", *workload, *cycles)
+		for _, s := range schemes {
+			r := results[s]
+			fmt.Printf("  %-5s throughput=%.4f spills=%-7d retrHits=%-7d dram=%d\n",
+				s, r.Throughput(), r.Report.Spills, r.Report.RetrievalHits, r.Report.DRAM.Reads)
+		}
+		return
+	}
+
+	res := results[schemes[0]]
 	fmt.Printf("scheme=%s cycles=%d throughput=%.4f\n", res.Scheme, res.Cycles, res.Throughput())
 	for i, c := range res.Cores {
 		src := res.Report.PerCore[i]

@@ -1,0 +1,3 @@
+module snug
+
+go 1.21

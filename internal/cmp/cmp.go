@@ -89,6 +89,7 @@ type System struct {
 	ctrl    schemes.Controller
 	cores   []*cpu.Core
 	l1      []*cache.Cache
+	mem     []cpu.MemFunc // per-core hierarchy path, built once
 	streams []isa.Stream
 	names   []string
 	clock   int64
@@ -120,6 +121,10 @@ func NewSystem(cfg config.System, scheme string, streams []isa.Stream) (*System,
 		s.cores[i] = cpu.NewCore(cfg.Core)
 		s.l1[i] = cache.MustNew(l1Geom, cfg.Mem.L1D.Ways)
 		s.names[i] = streams[i].Name()
+	}
+	s.mem = make([]cpu.MemFunc, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.mem[i] = s.memFunc(i)
 	}
 	return s, nil
 }
@@ -157,7 +162,7 @@ func (s *System) Run(cycles int64) RunResult {
 			boundary = end
 		}
 		for i, c := range s.cores {
-			c.Run(boundary, s.streams[i], s.memFunc(i))
+			c.Run(boundary, s.streams[i], s.mem[i])
 		}
 		s.ctrl.Tick(boundary)
 		s.clock = boundary

@@ -48,7 +48,7 @@ type Core struct {
 	issuedCnt int
 
 	commitRing []int64 // commit time of instruction j at j % RUUSize
-	seq        int64   // dynamic instruction count
+	robIdx     int     // commitRing slot of the current instruction (wraps at RUUSize)
 	lastCommit int64
 	commitAt   int64
 	commitCnt  int
@@ -110,7 +110,7 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	if c.fetchAvail > e {
 		e = c.fetchAvail
 	}
-	if robFree := c.commitRing[c.seq%int64(cfg.RUUSize)]; robFree > e {
+	if robFree := c.commitRing[c.robIdx]; robFree > e {
 		c.stats.ROBStall += robFree - e
 		e = robFree
 	}
@@ -193,9 +193,12 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	}
 	c.commitCnt++
 	c.lastCommit = ct
-	c.commitRing[c.seq%int64(cfg.RUUSize)] = ct
+	c.commitRing[c.robIdx] = ct
 
-	c.seq++
+	c.robIdx++
+	if c.robIdx == cfg.RUUSize {
+		c.robIdx = 0
+	}
 	c.clock = e
 	c.stats.Instructions++
 	c.stats.KindCount[in.Kind]++

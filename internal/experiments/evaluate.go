@@ -6,13 +6,16 @@
 package experiments
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
-	"sync"
+	"strings"
 
 	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/metrics"
 	"snug/internal/stats"
+	"snug/internal/sweep"
 	"snug/internal/workloads"
 )
 
@@ -27,8 +30,20 @@ var FigureSchemes = []string{"L2S", "CC(Best)", "DSR", "SNUG"}
 type Options struct {
 	Cfg         config.System
 	RunCycles   int64
-	Parallelism int      // concurrent simulations (0 = 2)
+	Parallelism int      // concurrent simulations (0 = runtime.GOMAXPROCS(0))
 	Classes     []string // subset of {"C1".."C6"}; nil = all
+
+	// Schemes restricts the evaluated schemes to a subset of
+	// {"L2S", "CC", "DSR", "SNUG"}; nil means all. The L2P baseline always
+	// runs — every reported metric is normalized to it — so "L2P" entries
+	// are accepted and ignored, and ["L2P"] alone runs just the baseline.
+	Schemes []string
+	// Checkpoint is a sweep results-store path: completed runs found there
+	// are restored instead of re-simulated, and new runs are appended, so an
+	// interrupted evaluation resumes where it stopped. "" disables.
+	Checkpoint string
+	// Progress, when set, receives a snapshot after each completed run.
+	Progress func(sweep.Progress)
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
@@ -47,117 +62,179 @@ type Evaluation struct {
 	Combos  []ComboResult
 }
 
-// runJob is one simulation to execute.
-type runJob struct {
-	comboIdx int
-	label    string // result key
-	scheme   string // controller name
-	ccPct    int    // CC spill probability (for scheme "CC")
+// evalSchemes are the non-baseline controllers the full matrix evaluates.
+var evalSchemes = []string{"L2S", "CC", "DSR", "SNUG"}
+
+// selectSchemes validates and normalizes the Schemes option into evalSchemes
+// order. "L2P" entries are dropped — the baseline always runs.
+func selectSchemes(want []string) ([]string, error) {
+	if len(want) == 0 {
+		return evalSchemes, nil
+	}
+	requested := map[string]bool{}
+	for _, s := range want {
+		if s == "L2P" {
+			continue
+		}
+		found := false
+		for _, known := range evalSchemes {
+			if s == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: unknown scheme %q (want a subset of %v)", s, evalSchemes)
+		}
+		requested[s] = true
+	}
+	var out []string
+	for _, s := range evalSchemes {
+		if requested[s] {
+			out = append(out, s)
+		}
+	}
+	// An empty selection (e.g. Schemes = ["L2P"]) is a baseline-only run.
+	return out, nil
 }
 
-// Evaluate runs the evaluation matrix: for every selected combo, L2P, L2S,
-// DSR, SNUG, and CC at every spill probability (from which CC(Best) is
-// selected by throughput, per §4.1). Simulations run concurrently but
-// results are deterministic: every run is seeded independently of
-// scheduling order.
+// fingerprint identifies everything that changes a run's result — the
+// system configuration (which embeds the base seed) and the run length —
+// so a checkpoint store refuses to mix results across configurations.
+// Classes and Schemes are deliberately excluded: they select which jobs
+// run, not what any job computes, so a store warmed by a subset sweep is
+// reusable by a wider one.
+func fingerprint(opt Options) (string, error) {
+	cfgJSON, err := json.Marshal(opt.Cfg)
+	if err != nil {
+		return "", fmt.Errorf("experiments: fingerprint config: %w", err)
+	}
+	return fmt.Sprintf("evaluate/cycles=%d/cfg=%016x", opt.RunCycles, stats.HashString(string(cfgJSON))), nil
+}
+
+// jobKey identifies one (combo, labelled run) pair in the sweep; it is also
+// the run's checkpoint key, so it must stay stable across releases.
+func jobKey(combo, label string) string { return combo + "/" + label }
+
+// Evaluate runs the evaluation matrix through the sweep engine: for every
+// selected combo, the L2P baseline plus every selected scheme, with CC at
+// every spill probability (from which CC(Best) is selected by throughput,
+// per §4.1). Simulations run concurrently but results are deterministic:
+// every run's seed derives from its combo identity via the sweep engine, so
+// a combo's schemes see identical instruction streams (paired comparisons)
+// and the output is bit-identical for any Parallelism.
 func Evaluate(opt Options) (*Evaluation, error) {
 	if opt.RunCycles <= 0 {
 		return nil, fmt.Errorf("experiments: RunCycles must be positive")
-	}
-	if opt.Parallelism <= 0 {
-		opt.Parallelism = 2
 	}
 	combos := selectCombos(opt.Classes)
 	if len(combos) == 0 {
 		return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
 	}
+	schemes, err := selectSchemes(opt.Schemes)
+	if err != nil {
+		return nil, err
+	}
 
 	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos))}
-	var jobs []runJob
+	var jobs []sweep.Job
+	addJob := func(combo workloads.Combo, label, scheme string, ccPct int) {
+		jobs = append(jobs, sweep.Job{
+			Key:     jobKey(combo.Name, label),
+			SeedKey: combo.Name,
+			Run: func(seed uint64) (cmp.RunResult, error) {
+				cfg := opt.Cfg
+				cfg.Seed = seed
+				cfg.CC.SpillPercent = ccPct
+				return cmp.RunWorkload(cfg, scheme, combo.Cores, opt.RunCycles)
+			},
+		})
+	}
 	for i, combo := range combos {
 		ev.Combos[i] = ComboResult{
 			Combo:       combo,
 			Runs:        make(map[string]cmp.RunResult),
 			Comparisons: make(map[string]metrics.Comparison),
 		}
-		jobs = append(jobs, runJob{i, "L2P", "L2P", 0}, runJob{i, "L2S", "L2S", 0},
-			runJob{i, "DSR", "DSR", 0}, runJob{i, "SNUG", "SNUG", 0})
-		for _, pct := range CCPercents {
-			jobs = append(jobs, runJob{i, fmt.Sprintf("CC(%d%%)", pct), "CC", pct})
+		addJob(combo, "L2P", "L2P", 0)
+		for _, scheme := range schemes {
+			if scheme == "CC" {
+				for _, pct := range CCPercents {
+					addJob(combo, fmt.Sprintf("CC(%d%%)", pct), "CC", pct)
+				}
+			} else {
+				addJob(combo, scheme, scheme, 0)
+			}
 		}
 	}
 
-	type jobResult struct {
-		job runJob
-		res cmp.RunResult
-		err error
+	fp, err := fingerprint(opt)
+	if err != nil {
+		return nil, err
 	}
-	jobCh := make(chan runJob)
-	resCh := make(chan jobResult)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				cfg := opt.Cfg
-				cfg.CC.SpillPercent = j.ccPct
-				res, err := cmp.RunWorkload(cfg, j.scheme, combos[j.comboIdx].Cores, opt.RunCycles)
-				resCh <- jobResult{j, res, err}
+	results, err := sweep.Run(sweep.Options{
+		Parallelism: opt.Parallelism,
+		BaseSeed:    opt.Cfg.Seed,
+		Checkpoint:  opt.Checkpoint,
+		Fingerprint: fp,
+		OnProgress:  opt.Progress,
+	}, jobs)
+	if err != nil {
+		var je *sweep.JobError
+		if errors.As(err, &je) {
+			if combo, label, ok := strings.Cut(je.Key, "/"); ok {
+				return nil, fmt.Errorf("experiments: combo %s, run %s: %w", combo, label, je.Err)
 			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
 		}
-		close(jobCh)
-		wg.Wait()
-		close(resCh)
-	}()
-
-	var firstErr error
-	for jr := range resCh {
-		if jr.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s on %s: %w", jr.job.label, combos[jr.job.comboIdx].Name, jr.err)
-			}
-			continue
-		}
-		cr := &ev.Combos[jr.job.comboIdx]
-		if jr.job.label == "L2P" {
-			cr.Baseline = jr.res
-		}
-		cr.Runs[jr.job.label] = jr.res
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
 	for i := range ev.Combos {
-		if err := ev.Combos[i].finalize(); err != nil {
+		cr := &ev.Combos[i]
+		cr.Baseline = results[jobKey(cr.Combo.Name, "L2P")]
+		for key, res := range results {
+			if combo, label, ok := strings.Cut(key, "/"); ok && combo == cr.Combo.Name {
+				cr.Runs[label] = res
+			}
+		}
+		if err := cr.finalize(schemes); err != nil {
 			return nil, err
 		}
 	}
 	return ev, nil
 }
 
-// finalize selects CC(Best) and computes the Table 5 comparisons.
-func (cr *ComboResult) finalize() error {
-	bestPct, bestTput := -1, 0.0
-	for _, pct := range CCPercents {
-		r, ok := cr.Runs[fmt.Sprintf("CC(%d%%)", pct)]
-		if !ok {
-			return fmt.Errorf("experiments: combo %s missing CC(%d%%) run", cr.Combo.Name, pct)
-		}
-		if put := r.Throughput(); bestPct < 0 || put > bestTput {
-			bestPct, bestTput = pct, put
-		}
+// finalize selects CC(Best) and computes the Table 5 comparisons for the
+// schemes that ran.
+func (cr *ComboResult) finalize(schemes []string) error {
+	selected := map[string]bool{}
+	for _, s := range schemes {
+		selected[s] = true
 	}
-	cr.CCBestPct = bestPct
-	cr.Runs["CC(Best)"] = cr.Runs[fmt.Sprintf("CC(%d%%)", bestPct)]
+	cr.CCBestPct = -1
+	if selected["CC"] {
+		bestPct, bestTput := -1, 0.0
+		for _, pct := range CCPercents {
+			r, ok := cr.Runs[fmt.Sprintf("CC(%d%%)", pct)]
+			if !ok {
+				return fmt.Errorf("experiments: combo %s missing CC(%d%%) run", cr.Combo.Name, pct)
+			}
+			if put := r.Throughput(); bestPct < 0 || put > bestTput {
+				bestPct, bestTput = pct, put
+			}
+		}
+		cr.CCBestPct = bestPct
+		cr.Runs["CC(Best)"] = cr.Runs[fmt.Sprintf("CC(%d%%)", bestPct)]
+	}
 
 	for _, label := range FigureSchemes {
+		scheme := label
+		if label == "CC(Best)" {
+			scheme = "CC"
+		}
+		if !selected[scheme] {
+			continue
+		}
 		r, ok := cr.Runs[label]
 		if !ok {
 			return fmt.Errorf("experiments: combo %s missing %s run", cr.Combo.Name, label)
@@ -195,11 +272,13 @@ func selectCombos(classes []string) []workloads.Combo {
 // the geometric-mean metric value.
 type ClassSeries struct {
 	Metric  metrics.MetricKind
+	Schemes []string             // column labels present, in FigureSchemes order
 	Classes []string             // row labels: C1..C6, AVG
 	Values  map[string][]float64 // scheme label -> value per row
 }
 
-// Figure computes the Figure 9/10/11 dataset for the chosen metric.
+// Figure computes the Figure 9/10/11 dataset for the chosen metric. Only
+// schemes the evaluation actually ran appear (see Options.Schemes).
 func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
 	classes := presentClasses(ev.Combos)
 	cs := ClassSeries{
@@ -208,6 +287,12 @@ func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
 		Values:  make(map[string][]float64),
 	}
 	for _, scheme := range FigureSchemes {
+		if len(ev.Combos) > 0 {
+			if _, ok := ev.Combos[0].Comparisons[scheme]; !ok {
+				continue
+			}
+		}
+		cs.Schemes = append(cs.Schemes, scheme)
 		var rows []float64
 		var all []float64
 		for _, class := range classes {

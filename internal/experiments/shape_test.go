@@ -2,13 +2,56 @@ package experiments_test
 
 import (
 	"math"
+	"path/filepath"
+	"reflect"
+	"sync"
 	"testing"
 
 	"snug/internal/config"
 	"snug/internal/core"
 	"snug/internal/experiments"
 	"snug/internal/metrics"
+	"snug/internal/sweep"
 )
+
+// Fixture run lengths. At test scale a SNUG epoch is 1M cycles (100k stage
+// I + 900k stage II), and the stage-I re-latch at 1M drops cooperative
+// state, so C1's Figure 9 ordering — SNUG clearly ahead — only re-emerges
+// well into the second epoch: 1.6M cycles is the shortest length with a
+// solid margin. C2's plateau (~1.0 for every cooperative scheme) is stable
+// far earlier; 1.2M keeps the suite's wall time within budget.
+const (
+	fixtureC1Cycles = 1_600_000
+	fixtureC2Cycles = 1_200_000
+)
+
+// The C1 and C2 evaluations are the expensive inputs shared by
+// TestFigure9Shape and TestIndexFlipAblation; simulate them once instead of
+// per test.
+var (
+	evalOnce     sync.Once
+	fixC1, fixC2 *experiments.Evaluation
+	evalErr      error
+)
+
+func evalFixture(t *testing.T) (c1, c2 *experiments.Evaluation) {
+	t.Helper()
+	evalOnce.Do(func() {
+		fixC1, evalErr = experiments.Evaluate(experiments.Options{
+			Cfg: config.TestScale(), RunCycles: fixtureC1Cycles, Classes: []string{"C1"},
+		})
+		if evalErr != nil {
+			return
+		}
+		fixC2, evalErr = experiments.Evaluate(experiments.Options{
+			Cfg: config.TestScale(), RunCycles: fixtureC2Cycles, Classes: []string{"C2"},
+		})
+	})
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	return fixC1, fixC2
+}
 
 // TestTable2 pins the Formula (6) storage overhead to the paper's 3.9%.
 func TestTable2(t *testing.T) {
@@ -89,9 +132,9 @@ func TestFigure2VortexPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opening := chz.WindowBucketSizes(5, 40)           // phase 1 (skip warm-up)
-	middle := chz.WindowBucketSizes(45, 78)           // the Figure 2 phase
-	shallowOpen := opening[0] + opening[1]            // buckets 1~4 and 5~8
+	opening := chz.WindowBucketSizes(5, 40) // phase 1 (skip warm-up)
+	middle := chz.WindowBucketSizes(45, 78) // the Figure 2 phase
+	shallowOpen := opening[0] + opening[1]  // buckets 1~4 and 5~8
 	shallowMid := middle[0] + middle[1]
 	if shallowMid <= shallowOpen+0.03 {
 		t.Errorf("vortex shallow share: opening %.3f -> middle %.3f; want a clear rise (Figure 2)",
@@ -127,16 +170,9 @@ func TestFigure9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation run")
 	}
-	ev, err := experiments.Evaluate(experiments.Options{
-		Cfg:       config.TestScale(),
-		RunCycles: 2_000_000,
-		Classes:   []string{"C1", "C2"},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	fig := ev.Figure(metrics.MetricThroughput)
-	row := func(class string) map[string]float64 {
+	evC1, evC2 := evalFixture(t)
+	row := func(ev *experiments.Evaluation, class string) map[string]float64 {
+		fig := ev.Figure(metrics.MetricThroughput)
 		for i, c := range fig.Classes {
 			if c == class {
 				out := map[string]float64{}
@@ -150,7 +186,7 @@ func TestFigure9Shape(t *testing.T) {
 		return nil
 	}
 
-	c1 := row("C1")
+	c1 := row(evC1, "C1")
 	if c1["SNUG"] <= c1["CC(Best)"] || c1["SNUG"] <= c1["DSR"] || c1["SNUG"] <= c1["L2S"] {
 		t.Errorf("C1 ordering violated: %v (SNUG must lead — the set-level grouping class)", c1)
 	}
@@ -158,7 +194,7 @@ func TestFigure9Shape(t *testing.T) {
 		t.Errorf("C1 SNUG %.3f, want a clear gain over L2P", c1["SNUG"])
 	}
 
-	c2 := row("C2")
+	c2 := row(evC2, "C2")
 	for _, s := range []string{"CC(Best)", "DSR", "SNUG"} {
 		if c2[s] < 0.96 || c2[s] > 1.04 {
 			t.Errorf("C2 %s = %.3f, want ~1.0 (no slack to exploit)", s, c2[s])
@@ -171,27 +207,105 @@ func TestFigure9Shape(t *testing.T) {
 
 // TestIndexFlipAblation: disabling the index-bit-flipping scheme must not
 // improve SNUG on the C1 stress test, where flipping is the mechanism that
-// finds complementary sets (paper §5).
+// finds complementary sets (paper §5). The with-flip side comes from the
+// shared fixture; the without-flip side simulates only the runs the
+// comparison needs (L2P baseline + SNUG) via the Schemes subset.
 func TestIndexFlipAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation run")
 	}
-	run := func(flip bool) float64 {
-		cfg := config.TestScale()
-		cfg.SNUG.IndexFlip = flip
+	evC1, _ := evalFixture(t)
+	with := evC1.Figure(metrics.MetricThroughput).Values["SNUG"][0]
+
+	cfg := config.TestScale()
+	cfg.SNUG.IndexFlip = false
+	ev, err := experiments.Evaluate(experiments.Options{
+		Cfg: cfg, RunCycles: fixtureC1Cycles, Classes: []string{"C1"},
+		Schemes: []string{"SNUG"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := ev.Figure(metrics.MetricThroughput).Values["SNUG"][0]
+	t.Logf("C1 SNUG with flip %.4f, without %.4f", with, without)
+	if without > with+0.005 {
+		t.Errorf("disabling index flipping improved C1 (%.4f -> %.4f)", with, without)
+	}
+}
+
+// TestEvaluateDeterminism: the sweep engine seeds every run from its combo
+// identity, so the evaluation's output is bit-identical for any worker
+// count (the old fixed pool made this true by accident; now it is the
+// engine's contract).
+func TestEvaluateDeterminism(t *testing.T) {
+	run := func(par int) []experiments.ComboResult {
 		ev, err := experiments.Evaluate(experiments.Options{
-			Cfg: cfg, RunCycles: 2_000_000, Classes: []string{"C1"},
+			Cfg: config.TestScale(), RunCycles: 120_000, Parallelism: par,
+			Classes: []string{"C1"}, Schemes: []string{"CC"},
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig := ev.Figure(metrics.MetricThroughput)
-		return fig.Values["SNUG"][0]
+		return ev.Combos
 	}
-	with, without := run(true), run(false)
-	t.Logf("C1 SNUG with flip %.4f, without %.4f", with, without)
-	if without > with+0.005 {
-		t.Errorf("disabling index flipping improved C1 (%.4f -> %.4f)", with, without)
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Error("Evaluate output differs between Parallelism 1 and 4")
+	}
+}
+
+// TestEvaluateResume: re-running an evaluation over its checkpoint store
+// restores every run (no re-simulation) and reproduces the results exactly
+// — which also pins that cmp.RunResult survives the JSON round trip.
+func TestEvaluateResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "eval.sweep.json")
+	opts := experiments.Options{
+		Cfg: config.TestScale(), RunCycles: 120_000,
+		Classes: []string{"C1"}, Schemes: []string{"SNUG"}, Checkpoint: ckpt,
+	}
+	first, err := experiments.Evaluate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last sweep.Progress
+	opts.Progress = func(p sweep.Progress) { last = p }
+	second, err := experiments.Evaluate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Restored != last.Total || last.Total == 0 {
+		t.Errorf("resume restored %d of %d runs, want all", last.Restored, last.Total)
+	}
+	if !reflect.DeepEqual(first.Combos, second.Combos) {
+		t.Error("resumed evaluation differs from the original")
+	}
+
+	// Same store under different options must be rejected, not mixed.
+	opts.RunCycles = 240_000
+	if _, err := experiments.Evaluate(opts); err == nil {
+		t.Error("checkpoint from a different RunCycles accepted")
+	}
+}
+
+// TestEvaluateBaselineOnly: Schemes = ["L2P"] runs just the baseline (the
+// option's documentation says L2P always runs, so naming only it is valid).
+func TestEvaluateBaselineOnly(t *testing.T) {
+	ev, err := experiments.Evaluate(experiments.Options{
+		Cfg: config.TestScale(), RunCycles: 120_000,
+		Classes: []string{"C1"}, Schemes: []string{"L2P"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range ev.Combos {
+		if cr.Baseline.Cycles == 0 {
+			t.Errorf("combo %s has no baseline run", cr.Combo.Name)
+		}
+		if len(cr.Comparisons) != 0 {
+			t.Errorf("combo %s has comparisons %v without scheme runs", cr.Combo.Name, cr.Comparisons)
+		}
+	}
+	if fig := ev.Figure(metrics.MetricThroughput); len(fig.Schemes) != 0 {
+		t.Errorf("baseline-only figure lists schemes %v", fig.Schemes)
 	}
 }
 
@@ -204,5 +318,10 @@ func TestEvaluateValidation(t *testing.T) {
 		Cfg: config.TestScale(), RunCycles: 1000, Classes: []string{"C9"},
 	}); err == nil {
 		t.Error("unknown class accepted")
+	}
+	if _, err := experiments.Evaluate(experiments.Options{
+		Cfg: config.TestScale(), RunCycles: 1000, Schemes: []string{"NOPE"},
+	}); err == nil {
+		t.Error("unknown scheme accepted")
 	}
 }

@@ -8,14 +8,18 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"snug/internal/experiments"
 	"snug/internal/stackdist"
+	"snug/internal/sweep"
 )
 
-// WriteFigure renders a Figures 9–11 dataset as an aligned table.
+// WriteFigure renders a Figures 9–11 dataset as an aligned table. Columns
+// follow the series' scheme list, so partial evaluations (Options.Schemes)
+// render cleanly.
 func WriteFigure(w io.Writer, title string, cs experiments.ClassSeries) error {
-	schemes := experiments.FigureSchemes
+	schemes := cs.Schemes
 	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
 		return err
 	}
@@ -33,7 +37,7 @@ func WriteFigure(w io.Writer, title string, cs experiments.ClassSeries) error {
 
 // WriteFigureCSV renders the same dataset as CSV.
 func WriteFigureCSV(w io.Writer, cs experiments.ClassSeries) error {
-	schemes := experiments.FigureSchemes
+	schemes := cs.Schemes
 	if _, err := fmt.Fprintf(w, "class,%s\n", strings.Join(schemes, ",")); err != nil {
 		return err
 	}
@@ -53,14 +57,21 @@ func WriteFigureCSV(w io.Writer, cs experiments.ClassSeries) error {
 // and the CC(Best) spill probability chosen.
 func WriteCombos(w io.Writer, ev *experiments.Evaluation) error {
 	rows := [][]string{{"class", "combo", "L2S", "CC(Best)", "ccPct", "DSR", "SNUG"}}
+	norm := func(cr experiments.ComboResult, scheme string) string {
+		c, ok := cr.Comparisons[scheme]
+		if !ok {
+			return "-" // scheme not in this evaluation's subset
+		}
+		return fmt.Sprintf("%.3f", c.ThroughputNorm)
+	}
 	for _, cr := range ev.Combos {
+		pct := "-"
+		if cr.CCBestPct >= 0 {
+			pct = fmt.Sprintf("%d%%", cr.CCBestPct)
+		}
 		rows = append(rows, []string{
 			cr.Combo.Class, cr.Combo.Name,
-			fmt.Sprintf("%.3f", cr.Comparisons["L2S"].ThroughputNorm),
-			fmt.Sprintf("%.3f", cr.Comparisons["CC(Best)"].ThroughputNorm),
-			fmt.Sprintf("%d%%", cr.CCBestPct),
-			fmt.Sprintf("%.3f", cr.Comparisons["DSR"].ThroughputNorm),
-			fmt.Sprintf("%.3f", cr.Comparisons["SNUG"].ThroughputNorm),
+			norm(cr, "L2S"), norm(cr, "CC(Best)"), pct, norm(cr, "DSR"), norm(cr, "SNUG"),
 		})
 	}
 	return writeAligned(w, rows)
@@ -116,6 +127,27 @@ func WriteCharacterizationCSV(w io.Writer, c *stackdist.Characterization) error 
 		}
 	}
 	return nil
+}
+
+// ProgressLine renders a sweep progress snapshot as one log line, e.g.
+// "sweep 12/63 (19%) elapsed 5s eta 21s — 4xammp/SNUG [8 restored]".
+func ProgressLine(p sweep.Progress) string {
+	var b strings.Builder
+	pct := 0
+	if p.Total > 0 {
+		pct = 100 * p.Done / p.Total
+	}
+	fmt.Fprintf(&b, "sweep %d/%d (%d%%) elapsed %s", p.Done, p.Total, pct, p.Elapsed.Round(time.Second))
+	if p.ETA > 0 {
+		fmt.Fprintf(&b, " eta %s", p.ETA.Round(time.Second))
+	}
+	if p.Key != "" {
+		fmt.Fprintf(&b, " — %s", p.Key)
+	}
+	if p.Restored > 0 {
+		fmt.Fprintf(&b, " [%d restored]", p.Restored)
+	}
+	return b.String()
 }
 
 // writeAligned prints rows with columns padded to equal width.

@@ -3,15 +3,18 @@ package report
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"snug/internal/experiments"
 	"snug/internal/metrics"
 	"snug/internal/stackdist"
+	"snug/internal/sweep"
 )
 
 func sampleSeries() experiments.ClassSeries {
 	cs := experiments.ClassSeries{
 		Metric:  metrics.MetricThroughput,
+		Schemes: experiments.FigureSchemes,
 		Classes: []string{"C1", "AVG"},
 		Values:  map[string][]float64{},
 	}
@@ -45,6 +48,21 @@ func TestWriteFigureCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "class,") {
 		t.Errorf("CSV header %q", lines[0])
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	line := ProgressLine(sweep.Progress{
+		Done: 12, Total: 63, Restored: 8, Key: "4xammp/SNUG",
+		Elapsed: 5 * time.Second, ETA: 21 * time.Second,
+	})
+	for _, want := range []string{"12/63", "(19%)", "5s", "eta 21s", "4xammp/SNUG", "8 restored"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	if empty := ProgressLine(sweep.Progress{}); !strings.Contains(empty, "0/0") {
+		t.Errorf("zero progress line %q", empty)
 	}
 }
 

@@ -63,3 +63,16 @@ func Mix64(x uint64) uint64 {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// HashString hashes s into a well-mixed 64-bit value (FNV-1a finalized by
+// Mix64). It anchors every name-derived seed in the simulator: benchmark
+// demand maps (internal/trace) and sweep job seeds (internal/sweep), so a
+// job's randomness is a pure function of its identity, never of scheduling.
+func HashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return Mix64(h)
+}

@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"snug/internal/cmp"
+)
+
+// Store is the sweep's checkpointed results store: an append-only file of
+// JSON entries, one completed job per line, preceded by an optional header
+// line fingerprinting the sweep configuration. Append-only makes
+// checkpointing crash-safe — a write torn by an interrupt corrupts only the
+// final line, which OpenStore tolerates (that job simply reruns on resume).
+type Store struct {
+	path        string
+	mu          sync.Mutex
+	f           *os.File
+	fingerprint string
+	results     map[string]cmp.RunResult
+}
+
+// storeEntry is one persisted line: either a header (Fingerprint set) or a
+// completed job (Key/Result set).
+type storeEntry struct {
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Key         string         `json:"key,omitempty"`
+	Result      *cmp.RunResult `json:"result,omitempty"`
+}
+
+// OpenStore opens (creating if absent) the results store at path and loads
+// every previously completed result. An unterminated final line — the
+// signature of an interrupted write — is truncated away so later appends
+// start on a clean boundary; corruption of a newline-terminated line is an
+// error, since a single-writer append can only tear the tail.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, results: make(map[string]cmp.RunResult)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	keep := len(data) // length of the valid prefix to retain
+	addNL := false    // last line parsed but lost its newline to a tear
+	off, lineNo := 0, 0
+	for off < len(data) {
+		end, hasNL := len(data), false
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			end, hasNL = off+nl, true
+		}
+		line := bytes.TrimSpace(data[off:end])
+		lineNo++
+		if len(line) > 0 {
+			var e storeEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				if !hasNL {
+					keep = off // torn tail write from an interrupted run
+					break
+				}
+				return nil, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
+			}
+			if e.Fingerprint != "" {
+				s.fingerprint = e.Fingerprint
+			} else if e.Key != "" && e.Result != nil {
+				s.results[e.Key] = *e.Result
+			}
+			addNL = !hasNL
+		}
+		if !hasNL {
+			break
+		}
+		off = end + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	// Repair the tail before anything is appended: a glued-on write would
+	// corrupt the file mid-line, which a later open rejects.
+	if keep < len(data) {
+		err = f.Truncate(int64(keep))
+	} else if addNL {
+		_, err = f.Write([]byte{'\n'})
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: repair checkpoint tail: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Fingerprint returns the stored configuration fingerprint ("" if the
+// store has none).
+func (s *Store) Fingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fingerprint
+}
+
+// SetFingerprint writes the configuration header. It may only be called on
+// a store that has no fingerprint yet.
+func (s *Store) SetFingerprint(fp string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fingerprint != "" {
+		return fmt.Errorf("sweep: checkpoint %s already has a fingerprint", s.path)
+	}
+	line, err := json.Marshal(storeEntry{Fingerprint: fp})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: checkpoint header write: %w", err)
+	}
+	s.fingerprint = fp
+	return nil
+}
+
+// Get returns the stored result for key, if present.
+func (s *Store) Get(key string) (cmp.RunResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.results[key]
+	return r, ok
+}
+
+// Len returns the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// Put appends one completed result to the store.
+func (s *Store) Put(key string, r cmp.RunResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line, err := json.Marshal(storeEntry{Key: key, Result: &r})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal result %s: %w", key, err)
+	}
+	line = append(line, '\n')
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: checkpoint write %s: %w", key, err)
+	}
+	s.results[key] = r
+	return nil
+}
+
+// Close closes the underlying file. Get/Len remain usable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,230 @@
+// Package sweep is the reusable evaluation-sweep engine: it runs a batch of
+// independent simulation jobs across a worker pool, checkpoints every
+// completed result to a JSON results store so an interrupted sweep resumes
+// without redoing finished work, and reports structured progress.
+//
+// Determinism is the package's core contract. Each job's RNG seed is derived
+// from the job's identity (its SeedKey) via stats.Mix64, never from wall
+// time or scheduling, so a sweep's results are bit-identical regardless of
+// worker count or completion order. Jobs that must be compared pair-wise
+// (the same workload under different schemes) share a SeedKey and therefore
+// see identical instruction streams.
+//
+// The engine is the foundation under internal/experiments.Evaluate,
+// cmd/experiments and cmd/snugsim; DESIGN.md §"Sweep engine" documents the
+// architecture.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"snug/internal/cmp"
+	"snug/internal/stats"
+)
+
+// Job is one unit of work: a deterministic simulation identified by Key.
+type Job struct {
+	// Key uniquely identifies the job inside a sweep and keys its
+	// checkpointed result (e.g. "4xammp/SNUG"). Keys must be stable across
+	// program runs for resumption to work.
+	Key string
+	// SeedKey selects the job's RNG seed; it defaults to Key. Jobs sharing
+	// a SeedKey receive identical seeds — the evaluation uses this to run
+	// every scheme of one workload combination over the same instruction
+	// streams, keeping normalized comparisons paired.
+	SeedKey string
+	// Run executes the job with the derived seed.
+	Run func(seed uint64) (cmp.RunResult, error)
+}
+
+// Progress is a point-in-time snapshot of a running sweep.
+type Progress struct {
+	Done     int    // jobs finished, including restored ones
+	Total    int    // jobs in the sweep
+	Restored int    // jobs satisfied from the checkpoint store
+	Key      string // job that just finished ("" for the restore snapshot)
+	Elapsed  time.Duration
+	ETA      time.Duration // zero until at least one live job finished
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Parallelism is the worker count; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// BaseSeed is mixed into every job's derived seed, so one knob reseeds
+	// the whole sweep without touching job identities.
+	BaseSeed uint64
+	// Checkpoint is the results-store path. When non-empty, previously
+	// completed jobs found in the store are restored instead of rerun, and
+	// every newly completed job is appended. Empty disables checkpointing.
+	Checkpoint string
+	// Fingerprint identifies the configuration behind this sweep's results
+	// (run length, system config, base seed — whatever changes them). It is
+	// written into a fresh checkpoint store and checked on resume: restoring
+	// results produced under a different configuration is an error, not a
+	// silent mix. Empty skips the check.
+	Fingerprint string
+	// OnProgress, when set, is called once after restoration and once per
+	// completed job. It runs on the collector goroutine; callbacks must not
+	// block for long.
+	OnProgress func(Progress)
+}
+
+// JobError wraps a job failure with the identity of the job that produced
+// it, so callers can surface which sweep unit went wrong.
+type JobError struct {
+	Key string
+	Err error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("sweep: job %s: %v", e.Key, e.Err) }
+
+// Unwrap exposes the original job error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// JobSeed derives the RNG seed for a job identity: Mix64 over the base seed
+// combined with the hashed identity. Pure function of (base, seedKey).
+func JobSeed(base uint64, seedKey string) uint64 {
+	return stats.Mix64(base ^ stats.HashString(seedKey))
+}
+
+// Run executes the sweep and returns results keyed by Job.Key. On the first
+// job failure it stops handing out new jobs, lets in-flight jobs finish
+// (their results are still checkpointed), and returns a *JobError alongside
+// the partial results.
+func Run(opts Options, jobs []Job) (map[string]cmp.RunResult, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" {
+			return nil, fmt.Errorf("sweep: job with empty key")
+		}
+		if seen[j.Key] {
+			return nil, fmt.Errorf("sweep: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+
+	results := make(map[string]cmp.RunResult, len(jobs))
+	var store *Store
+	if opts.Checkpoint != "" {
+		var err error
+		store, err = OpenStore(opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		if opts.Fingerprint != "" {
+			switch fp := store.Fingerprint(); {
+			case fp == "" && store.Len() > 0:
+				return nil, fmt.Errorf("sweep: checkpoint %s has results but no configuration fingerprint; refusing to resume (use a fresh store)", opts.Checkpoint)
+			case fp == "":
+				if err := store.SetFingerprint(opts.Fingerprint); err != nil {
+					return nil, err
+				}
+			case fp != opts.Fingerprint:
+				return nil, fmt.Errorf("sweep: checkpoint %s was produced under a different configuration (%s, want %s); refusing to mix results", opts.Checkpoint, fp, opts.Fingerprint)
+			}
+		}
+	}
+
+	var pending []Job
+	for _, j := range jobs {
+		if store != nil {
+			if r, ok := store.Get(j.Key); ok {
+				results[j.Key] = r
+				continue
+			}
+		}
+		pending = append(pending, j)
+	}
+	restored := len(results)
+	done := restored
+	start := time.Now()
+	emit := func(key string) {
+		if opts.OnProgress == nil {
+			return
+		}
+		p := Progress{
+			Done: done, Total: len(jobs), Restored: restored,
+			Key: key, Elapsed: time.Since(start),
+		}
+		if live := done - restored; live > 0 && done < len(jobs) {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(live) * float64(len(jobs)-done))
+		}
+		opts.OnProgress(p)
+	}
+	emit("")
+
+	type outcome struct {
+		key string
+		res cmp.RunResult
+		err error
+	}
+	jobCh := make(chan Job)
+	outCh := make(chan outcome)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				seedKey := j.SeedKey
+				if seedKey == "" {
+					seedKey = j.Key
+				}
+				res, err := j.Run(JobSeed(opts.BaseSeed, seedKey))
+				outCh <- outcome{j.Key, res, err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range pending {
+			select {
+			case jobCh <- j:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	for o := range outCh {
+		if o.err != nil {
+			fail(&JobError{Key: o.key, Err: o.err})
+			continue
+		}
+		results[o.key] = o.res
+		if store != nil {
+			if err := store.Put(o.key, o.res); err != nil {
+				fail(err)
+				continue
+			}
+		}
+		done++
+		emit(o.key)
+	}
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}

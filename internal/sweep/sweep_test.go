@@ -1,0 +1,257 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"snug/internal/cmp"
+)
+
+// fakeJob builds a synthetic job whose result is a pure function of the
+// derived seed, so engine bookkeeping can be tested without simulations.
+func fakeJob(key, seedKey string) Job {
+	return Job{Key: key, SeedKey: seedKey, Run: func(seed uint64) (cmp.RunResult, error) {
+		return cmp.RunResult{Scheme: key, Cycles: int64(seed >> 1)}, nil
+	}}
+}
+
+func fakeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = fakeJob(fmt.Sprintf("job-%02d", i), "")
+	}
+	return jobs
+}
+
+// TestRunDeterminism: results are bit-identical for every worker count.
+func TestRunDeterminism(t *testing.T) {
+	jobs := fakeJobs(23)
+	var got []map[string]cmp.RunResult
+	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r, err := Run(Options{Parallelism: par, BaseSeed: 42}, jobs)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		got = append(got, r)
+	}
+	if !reflect.DeepEqual(got[0], got[1]) || !reflect.DeepEqual(got[0], got[2]) {
+		t.Error("results differ across Parallelism 1 / 4 / GOMAXPROCS")
+	}
+	if len(got[0]) != len(jobs) {
+		t.Errorf("got %d results, want %d", len(got[0]), len(jobs))
+	}
+}
+
+// TestJobSeedIdentity: seeds are a pure function of (base, seed key) —
+// distinct per identity, shared when jobs share a SeedKey, and moved as one
+// by the base seed.
+func TestJobSeedIdentity(t *testing.T) {
+	if JobSeed(1, "a") == JobSeed(1, "b") {
+		t.Error("distinct seed keys produced the same seed")
+	}
+	if JobSeed(1, "a") != JobSeed(1, "a") {
+		t.Error("JobSeed not deterministic")
+	}
+	if JobSeed(1, "a") == JobSeed(2, "a") {
+		t.Error("base seed ignored")
+	}
+
+	seeds := make(map[string]uint64)
+	jobs := []Job{
+		{Key: "combo/L2P", SeedKey: "combo"},
+		{Key: "combo/SNUG", SeedKey: "combo"},
+		{Key: "other/SNUG"},
+	}
+	for i := range jobs {
+		key := jobs[i].Key
+		jobs[i].Run = func(seed uint64) (cmp.RunResult, error) {
+			seeds[key] = seed
+			return cmp.RunResult{}, nil
+		}
+	}
+	if _, err := Run(Options{Parallelism: 1, BaseSeed: 7}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if seeds["combo/L2P"] != seeds["combo/SNUG"] {
+		t.Error("jobs sharing a SeedKey got different seeds (comparisons unpaired)")
+	}
+	if seeds["combo/L2P"] == seeds["other/SNUG"] {
+		t.Error("distinct seed keys collided")
+	}
+	if want := JobSeed(7, "other/SNUG"); seeds["other/SNUG"] != want {
+		t.Errorf("SeedKey default: got seed %#x, want Key-derived %#x", seeds["other/SNUG"], want)
+	}
+}
+
+// TestResumeSkipsCompleted: a second sweep over the same checkpoint restores
+// finished jobs instead of rerunning them.
+func TestResumeSkipsCompleted(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	first, err := Run(Options{Parallelism: 2, Checkpoint: ckpt}, fakeJobs(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	jobs := fakeJobs(8) // 6 checkpointed + 2 new
+	for i := range jobs {
+		inner := jobs[i].Run
+		jobs[i].Run = func(seed uint64) (cmp.RunResult, error) {
+			executed.Add(1)
+			return inner(seed)
+		}
+	}
+	var last Progress
+	second, err := Run(Options{Parallelism: 2, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 2 {
+		t.Errorf("resume executed %d jobs, want 2 (6 restored)", n)
+	}
+	if last.Restored != 6 || last.Done != 8 || last.Total != 8 {
+		t.Errorf("final progress %+v, want restored=6 done=8 total=8", last)
+	}
+	for k, v := range first {
+		if !reflect.DeepEqual(second[k], v) {
+			t.Errorf("restored result %s differs from original", k)
+		}
+	}
+}
+
+// TestErrorCancels: a failing job surfaces as a JobError with its identity,
+// stops new jobs from starting, and still returns completed work.
+func TestErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	jobs := []Job{
+		fakeJob("ok-0", ""),
+		{Key: "bad", Run: func(uint64) (cmp.RunResult, error) { return cmp.RunResult{}, boom }},
+	}
+	for i := 0; i < 40; i++ {
+		j := fakeJob(fmt.Sprintf("tail-%02d", i), "")
+		inner := j.Run
+		j.Run = func(seed uint64) (cmp.RunResult, error) {
+			executed.Add(1)
+			return inner(seed)
+		}
+		jobs = append(jobs, j)
+	}
+	res, err := Run(Options{Parallelism: 1}, jobs)
+	if err == nil {
+		t.Fatal("failing job did not surface an error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Key != "bad" {
+		t.Errorf("error %v, want JobError for key \"bad\"", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not unwrap to the job's error", err)
+	}
+	// With one worker the error lands before the tail is scheduled; allow a
+	// couple of in-flight stragglers but not a full sweep.
+	if n := executed.Load(); n > 3 {
+		t.Errorf("%d tail jobs ran after the failure, want cancellation", n)
+	}
+	if _, ok := res["ok-0"]; !ok {
+		t.Error("completed work discarded on error")
+	}
+}
+
+// TestFingerprintGuard: a checkpoint produced under one configuration
+// refuses to serve a sweep run under another, instead of silently mixing
+// results; matching fingerprints resume normally.
+func TestFingerprintGuard(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a"}, fakeJobs(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-b"}, fakeJobs(3)); err == nil {
+		t.Error("mismatched fingerprint accepted — results from different configurations would mix")
+	}
+	var last Progress
+	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a", OnProgress: func(p Progress) { last = p }}, fakeJobs(3)); err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	if last.Restored != 3 {
+		t.Errorf("matching resume restored %d, want 3", last.Restored)
+	}
+
+	// A store with results but no header cannot prove its provenance.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if _, err := Run(Options{Checkpoint: legacy}, fakeJobs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{Checkpoint: legacy, Fingerprint: "cfg-a"}, fakeJobs(2)); err == nil {
+		t.Error("fingerprint-less store with results accepted for a fingerprinted sweep")
+	}
+}
+
+// TestJobValidation rejects duplicate and empty keys.
+func TestJobValidation(t *testing.T) {
+	if _, err := Run(Options{}, []Job{fakeJob("a", ""), fakeJob("a", "")}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if _, err := Run(Options{}, []Job{fakeJob("", "")}); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+// TestStoreTornTail: a checkpoint whose final line was torn by an interrupt
+// loads every intact entry; corruption elsewhere is an error.
+func TestStoreTornTail(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	if _, err := Run(Options{Parallelism: 1, Checkpoint: ckpt}, fakeJobs(3)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","result":{"Sch`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := OpenStore(ckpt)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("store has %d entries after torn tail, want 3", s.Len())
+	}
+	if _, ok := s.Get("torn"); ok {
+		t.Error("torn entry surfaced")
+	}
+	// Appending after a torn tail must not glue onto the torn bytes: the
+	// open truncates them, so a later open still parses every line.
+	if err := s.Put("after-tear", cmp.RunResult{Scheme: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenStore(ckpt)
+	if err != nil {
+		t.Fatalf("reopen after post-tear append: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 4 {
+		t.Errorf("store has %d entries after post-tear append, want 4", s2.Len())
+	}
+	if _, ok := s2.Get("after-tear"); !ok {
+		t.Error("post-tear entry lost")
+	}
+
+	mid := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(mid, []byte("not-json\n{\"key\":\"x\",\"result\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(mid); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}

@@ -213,6 +213,14 @@ type Generator struct {
 	branches []branchSite
 	pcTick   uint64
 
+	// Cached per-instruction decision thresholds (plan/filler run once per
+	// emitted instruction — the simulator's hottest path — so the divisions
+	// behind them are hoisted out of it). Cumulative: a single uniform draw
+	// is compared against each in order.
+	cumMem, cumBr, cumCall float64 // unit-type thresholds (touch/branch/call)
+	cumDiv, cumMult, cumFP float64 // filler-kind thresholds
+	burstCont              float64 // same-block burst continuation probability
+
 	touches int64 // distinct-block touches emitted (for tests/metrics)
 }
 
@@ -252,6 +260,16 @@ func NewGenerator(prof Profile, geom addr.Geometry, seed uint64, totalRefs int64
 			g.phaseLen[i] = 1
 		}
 	}
+	g.cumMem = 1 / float64(prof.L2Every)
+	g.cumBr = g.cumMem + 1/float64(prof.BranchEvery)
+	g.cumCall = g.cumBr
+	if prof.CallEvery > 0 {
+		g.cumCall += 1 / float64(prof.CallEvery)
+	}
+	g.cumDiv = prof.DivFrac
+	g.cumMult = g.cumDiv + prof.MultFrac
+	g.cumFP = g.cumMult + prof.FPFrac
+	g.burstCont = prof.Burst / (1 + prof.Burst)
 	nb := 64
 	g.branches = make([]branchSite, nb)
 	for i := range g.branches {
@@ -384,7 +402,11 @@ func (g *Generator) pickSet() uint32 {
 	return uint32(lo)
 }
 
-// Next implements isa.Stream.
+// Next implements isa.Stream. It plans the next unit in place: a data-touch
+// burst, a branch, a call/return pair, or filler compute. Filler — the vast
+// majority of the stream — is written straight into in, skipping the queue
+// round trip; multi-instruction units go through the queue. The RNG draw
+// order is identical either way, so streams are unchanged by the fast path.
 func (g *Generator) Next(in *isa.Instr) {
 	if g.head < len(g.queue) {
 		*in = g.queue[g.head]
@@ -393,32 +415,20 @@ func (g *Generator) Next(in *isa.Instr) {
 	}
 	g.queue = g.queue[:0]
 	g.head = 0
-	g.plan()
-	*in = g.queue[0]
-	g.head = 1
-}
-
-// plan enqueues the next unit: a data-touch burst, a branch, a
-// call/return pair, or filler compute.
-func (g *Generator) plan() {
-	p := &g.prof
 	r := g.rng.Float64()
-	pMem := 1 / float64(p.L2Every)
-	pBr := 1 / float64(p.BranchEvery)
-	pCall := 0.0
-	if p.CallEvery > 0 {
-		pCall = 1 / float64(p.CallEvery)
-	}
 	switch {
-	case r < pMem:
+	case r < g.cumMem:
 		g.planTouch()
-	case r < pMem+pBr:
+	case r < g.cumBr:
 		g.planBranch()
-	case r < pMem+pBr+pCall:
+	case r < g.cumCall:
 		g.planCall()
 	default:
-		g.queue = append(g.queue, g.filler())
+		*in = g.filler()
+		return
 	}
+	*in = g.queue[0]
+	g.head = 1
 }
 
 // planTouch emits one distinct-block access followed by its L1-hit burst.
@@ -443,8 +453,7 @@ func (g *Generator) planTouch() {
 	// Same-block repeats: captured by L1, sustaining a realistic L1 hit
 	// rate without disturbing the L2-level reuse structure.
 	n := 0
-	pCont := g.prof.Burst / (1 + g.prof.Burst)
-	for n < maxBurst && g.rng.Bool(pCont) {
+	for n < maxBurst && g.rng.Bool(g.burstCont) {
 		g.queue = append(g.queue, g.filler())
 		g.emitAccess(a, false)
 		n++
@@ -523,28 +532,20 @@ func (g *Generator) planCall() {
 }
 
 // nameSeed hashes a benchmark name into the demand seed shared by all
-// instances of that benchmark (FNV-1a).
-func nameSeed(name string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 0x100000001b3
-	}
-	return stats.Mix64(h)
-}
+// instances of that benchmark.
+func nameSeed(name string) uint64 { return stats.HashString(name) }
 
 // filler returns one compute instruction per the profile's mix.
 func (g *Generator) filler() isa.Instr {
-	p := &g.prof
 	g.pcTick += 4
-	in := isa.Instr{PC: g.pcTick, DepPrev: g.rng.Bool(p.DepFrac)}
+	in := isa.Instr{PC: g.pcTick, DepPrev: g.rng.Bool(g.prof.DepFrac)}
 	r := g.rng.Float64()
 	switch {
-	case r < p.DivFrac:
+	case r < g.cumDiv:
 		in.Kind = isa.KindDiv
-	case r < p.DivFrac+p.MultFrac:
+	case r < g.cumMult:
 		in.Kind = isa.KindMult
-	case r < p.DivFrac+p.MultFrac+p.FPFrac:
+	case r < g.cumFP:
 		in.Kind = isa.KindFPU
 	default:
 		in.Kind = isa.KindALU
