@@ -94,7 +94,10 @@ func figure(b *testing.B, metric metrics.MetricKind) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cs := ev.Figure(metric)
+		cs, err := ev.Figure(metric)
+		if err != nil {
+			b.Fatal(err)
+		}
 		avg = map[string]float64{}
 		last := len(cs.Classes) - 1 // the AVG row
 		for _, s := range experiments.FigureSchemes {
@@ -131,6 +134,29 @@ func BenchmarkSchemeL2S(b *testing.B)  { schemeOnMix(b, "L2S") }
 func BenchmarkSchemeCC(b *testing.B)   { schemeOnMix(b, "CC") }
 func BenchmarkSchemeDSR(b *testing.B)  { schemeOnMix(b, "DSR") }
 func BenchmarkSchemeSNUG(b *testing.B) { schemeOnMix(b, "SNUG") }
+
+// scheme8Core times one 8-core scale-out simulation — the scaling study's
+// unit of work, tracking the new width axis next to the quad-core numbers.
+func scheme8Core(b *testing.B, scheme string) {
+	b.Helper()
+	cfg, err := config.TestScaleN(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := []string{"ammp", "ammp", "parser", "parser", "swim", "swim", "mesa", "mesa"}
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		r, err := cmp.RunWorkload(cfg, scheme, bench, benchCycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = r.Throughput()
+	}
+	b.ReportMetric(tput, "throughput")
+}
+
+func BenchmarkScheme8CoreL2P(b *testing.B)  { scheme8Core(b, "L2P") }
+func BenchmarkScheme8CoreSNUG(b *testing.B) { scheme8Core(b, "SNUG") }
 
 // ablate compares a SNUG variant against the default on the C1 stress
 // class (the design choices DESIGN.md calls out).

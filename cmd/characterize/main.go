@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"snug/internal/config"
@@ -20,13 +22,38 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "ammp", "benchmark to characterize (see snugsim -list)")
-	intervals := flag.Int("intervals", 200, "number of sampling intervals")
-	accesses := flag.Int64("accesses", 20_000, "L2 accesses per interval")
-	full := flag.Bool("full", false, "paper-scale methodology: 1000 intervals x 100K accesses on the Table 4 system")
-	testscale := flag.Bool("testscale", true, "use the 64-set test system (ignored with -full)")
-	csvPath := flag.String("csv", "", "also write the per-interval series as CSV")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h/-help: usage already printed, a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments; main is a thin
+// wrapper so tests can drive the full flag-to-output path.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "ammp", "benchmark to characterize (see snugsim -list)")
+	intervals := fs.Int("intervals", 200, "number of sampling intervals")
+	accesses := fs.Int64("accesses", 20_000, "L2 accesses per interval")
+	full := fs.Bool("full", false, "paper-scale methodology: 1000 intervals x 100K accesses on the Table 4 system")
+	testscale := fs.Bool("testscale", true, "use the 64-set test system (ignored with -full)")
+	csvPath := fs.String("csv", "", "also write the per-interval series as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	// The library treats 0 as "paper default" (1000 x 100K); from the CLI
+	// that silent upgrade would be surprising, so require explicit values.
+	if *intervals <= 0 || *accesses <= 0 {
+		return fmt.Errorf("-intervals and -accesses must be positive")
+	}
 
 	opt := experiments.CharacterizeOptions{
 		Benchmark:           *bench,
@@ -43,30 +70,30 @@ func main() {
 
 	chz, err := experiments.Characterize(opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+		return err
 	}
 
 	title := fmt.Sprintf("Set-level capacity demand distribution: %s", *bench)
 	if fig := experiments.FigureFor(*bench); fig != 0 {
 		title = fmt.Sprintf("Figure %d — %s", fig, title)
 	}
-	if err := report.WriteCharacterization(os.Stdout, title, chz); err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+	if err := report.WriteCharacterization(stdout, title, chz); err != nil {
+		return err
 	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
 		if err := report.WriteCharacterizationCSV(f, chz); err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
-		fmt.Println("wrote", *csvPath)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *csvPath)
 	}
+	return nil
 }

@@ -1,21 +1,27 @@
 // Command experiments runs the paper's full evaluation (Figures 9, 10 and
-// 11 over the 21 Table 8 workload combinations) and the SNUG ablation
-// sweep, printing figure-shaped tables and optional CSV.
+// 11 over the 21 Table 8 workload combinations), the SNUG ablation sweep,
+// and the N-core scaling study, printing figure-shaped tables and optional
+// CSV.
 //
 // Usage:
 //
 //	experiments                         # all classes, all three figures
 //	experiments -classes C1,C5          # subset
 //	experiments -cycles 4000000 -par 4  # longer runs, fixed worker count
+//	experiments -cores 8                # the figures on the 8-core system
+//	experiments -scaling -cores 4,8,16  # per-scheme scaling study
 //	experiments -out sweep.json         # checkpoint completed runs
 //	experiments -out sweep.json -resume # continue an interrupted sweep
 //	experiments -ablation               # SNUG design-choice ablations
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"snug/internal/cmp"
@@ -26,37 +32,80 @@ import (
 	"snug/internal/sweep"
 )
 
+// figures are the three evaluation metrics in paper order.
+var figures = []struct {
+	num    int
+	metric metrics.MetricKind
+	title  string
+}{
+	{9, metrics.MetricThroughput, "Figure 9 — Throughput normalized to L2P"},
+	{10, metrics.MetricAWS, "Figure 10 — Average Weighted Speedup"},
+	{11, metrics.MetricFS, "Figure 11 — Fair Speedup"},
+}
+
 func main() {
-	cycles := flag.Int64("cycles", 2_000_000, "cycles per simulation")
-	par := flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	classes := flag.String("classes", "", "comma-separated class subset (C1..C6); empty = all")
-	schemes := flag.String("schemes", "", "comma-separated scheme subset (L2S,CC,DSR,SNUG); empty = all; L2P always runs")
-	csvDir := flag.String("csv", "", "directory for CSV output (empty = none)")
-	out := flag.String("out", "", "sweep results store: completed runs are checkpointed here as JSON lines")
-	resume := flag.Bool("resume", false, "resume from -out, skipping runs already checkpointed")
-	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
-	ablation := flag.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
-	fullScale := flag.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h/-help: usage already printed, a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments; main is a thin
+// wrapper so tests can drive the full flag-to-output path.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cycles := fs.Int64("cycles", 2_000_000, "cycles per simulation")
+	par := fs.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	classes := fs.String("classes", "", "comma-separated class subset (C1..C6); empty = all")
+	schemes := fs.String("schemes", "", "comma-separated scheme subset (L2S,CC,DSR,SNUG); empty = all; L2P always runs")
+	cores := fs.String("cores", "4", "core count for the figures, or a comma-separated list for -scaling (e.g. 4,8,16)")
+	scaling := fs.Bool("scaling", false, "run the per-scheme scaling study across the -cores list instead of the figures")
+	csvDir := fs.String("csv", "", "directory for CSV output (empty = none)")
+	out := fs.String("out", "", "sweep results store: completed runs are checkpointed here as JSON lines")
+	resume := fs.Bool("resume", false, "resume from -out, skipping runs already checkpointed")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress on stderr")
+	ablation := fs.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
+	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	cfg := config.TestScale()
 	if *fullScale {
 		cfg = config.Scaled(50)
 	}
+	coreCounts, err := parseCores(*cores)
+	if err != nil {
+		return err
+	}
 
 	if *ablation {
-		runAblation(cfg, *cycles, *par)
-		return
+		if len(coreCounts) != 1 {
+			return fmt.Errorf("the ablation runs at one core count (got -cores %s)", *cores)
+		}
+		cfg, err := config.WithCores(cfg, coreCounts[0])
+		if err != nil {
+			return err
+		}
+		return runAblation(stdout, cfg, *cycles, *par)
 	}
 
 	if *resume && *out == "" {
-		fatal(fmt.Errorf("-resume requires -out"))
+		return fmt.Errorf("-resume requires -out")
 	}
 	if *out != "" && !*resume {
 		// Never silently destroy prior results: a completed checkpoint may
 		// represent hours of simulation.
 		if st, err := os.Stat(*out); err == nil && st.Size() > 0 {
-			fatal(fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete it for a fresh sweep", *out))
+			return fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete it for a fresh sweep", *out)
 		}
 	}
 
@@ -70,54 +119,117 @@ func main() {
 	}
 	var progress func(sweep.Progress)
 	if !*quiet {
-		progress = func(p sweep.Progress) { fmt.Fprintln(os.Stderr, report.ProgressLine(p)) }
+		progress = func(p sweep.Progress) { fmt.Fprintln(stderr, report.ProgressLine(p)) }
+	}
+
+	if *scaling {
+		return runScaling(stdout, experiments.ScalingOptions{
+			BaseCfg: cfg, CoreCounts: coreCounts, RunCycles: *cycles,
+			Parallelism: *par, Classes: cls, Schemes: sch,
+			Checkpoint: *out, Progress: progress,
+		}, *csvDir)
+	}
+
+	if len(coreCounts) != 1 {
+		return fmt.Errorf("the figures run at one core count (got -cores %s); pass -scaling for the multi-width study", *cores)
+	}
+	cfg, err = config.WithCores(cfg, coreCounts[0])
+	if err != nil {
+		return err
 	}
 	ev, err := experiments.Evaluate(experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
 		Schemes: sch, Checkpoint: *out, Progress: progress,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	figs := []struct {
-		num    int
-		metric metrics.MetricKind
-		title  string
-	}{
-		{9, metrics.MetricThroughput, "Figure 9 — Throughput normalized to L2P"},
-		{10, metrics.MetricAWS, "Figure 10 — Average Weighted Speedup"},
-		{11, metrics.MetricFS, "Figure 11 — Fair Speedup"},
-	}
-	for _, f := range figs {
-		cs := ev.Figure(f.metric)
-		if err := report.WriteFigure(os.Stdout, f.title, cs); err != nil {
-			fatal(err)
+	for _, f := range figures {
+		cs, err := ev.Figure(f.metric)
+		if err != nil {
+			return err
 		}
-		fmt.Println()
+		if err := report.WriteFigure(stdout, f.title, cs); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
 		if *csvDir != "" {
 			path := fmt.Sprintf("%s/figure%d.csv", *csvDir, f.num)
-			w, err := os.Create(path)
-			if err != nil {
-				fatal(err)
+			if err := writeCSV(path, func(w io.Writer) error { return report.WriteFigureCSV(w, cs) }); err != nil {
+				return err
 			}
-			if err := report.WriteFigureCSV(w, cs); err != nil {
-				fatal(err)
-			}
-			w.Close()
-			fmt.Println("wrote", path)
+			fmt.Fprintln(stdout, "wrote", path)
 		}
 	}
-	fmt.Println("Per-combination detail (normalized throughput):")
-	if err := report.WriteCombos(os.Stdout, ev); err != nil {
-		fatal(err)
+	fmt.Fprintln(stdout, "Per-combination detail (normalized throughput):")
+	return report.WriteCombos(stdout, ev)
+}
+
+// runScaling executes the scaling study and prints one table per metric.
+func runScaling(stdout io.Writer, opt experiments.ScalingOptions, csvDir string) error {
+	res, err := experiments.ScalingStudy(opt)
+	if err != nil {
+		return err
 	}
+	for _, f := range figures {
+		s, err := res.Series(f.metric)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Scaling — %s vs core count (cross-class average)", f.metric)
+		if err := report.WriteScaling(stdout, title, s); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if csvDir != "" {
+			path := fmt.Sprintf("%s/scaling_%s.csv", csvDir, f.metric)
+			if err := writeCSV(path, func(w io.Writer) error { return report.WriteScalingCSV(w, s) }); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "wrote", path)
+		}
+	}
+	return nil
+}
+
+// parseCores parses the -cores list.
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-cores %q: %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeCSV creates path and streams one CSV writer into it.
+func writeCSV(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(base config.System, cycles int64, par int) {
-	bench := []string{"ammp", "parser", "swim", "mesa"}
+func runAblation(stdout io.Writer, base config.System, cycles int64, par int) error {
+	// The quad-core A+A+D+D mix, replicated to the configured width the
+	// same way workloads.ScaleOut widens Table 8.
+	var bench []string
+	for _, b := range []string{"ammp", "parser", "swim", "mesa"} {
+		for r := 0; r < base.Cores/4; r++ {
+			bench = append(bench, b)
+		}
+	}
 	type variant struct {
 		name string
 		mut  func(*config.System)
@@ -149,19 +261,15 @@ func runAblation(base config.System, cycles int64, par int) {
 	}
 	results, err := sweep.Run(sweep.Options{Parallelism: par, BaseSeed: base.Seed}, jobs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	baseline := results["L2P"]
-	fmt.Printf("SNUG ablations on %v (normalized throughput vs L2P %.4f):\n", bench, baseline.Throughput())
+	fmt.Fprintf(stdout, "SNUG ablations on %v (normalized throughput vs L2P %.4f):\n", bench, baseline.Throughput())
 	for _, v := range variants {
 		r := results[v.name]
-		fmt.Printf("  %-26s %.4f  (spills=%d case2=%d retrHits=%d)\n",
+		fmt.Fprintf(stdout, "  %-26s %.4f  (spills=%d case2=%d retrHits=%d)\n",
 			v.name, r.Throughput()/baseline.Throughput(),
 			r.Report.Spills, 0, r.Report.RetrievalHits)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return nil
 }

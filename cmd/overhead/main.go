@@ -10,24 +10,46 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"snug/internal/core"
 )
 
 func main() {
-	table3 := flag.Bool("table3", false, "print the Table 3 grid")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h/-help: usage already printed, a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments; main is a thin
+// wrapper so tests can drive the full flag-to-output path.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table3 := fs.Bool("table3", false, "print the Table 3 grid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	if *table3 {
 		cells, err := core.Table3()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("Table 3 — SNUG storage overhead by address width and line size")
-		fmt.Printf("%-14s %-22s %s\n", "line size", "32-bit address", "64-bit address (44 used)")
+		fmt.Fprintln(stdout, "Table 3 — SNUG storage overhead by address width and line size")
+		fmt.Fprintf(stdout, "%-14s %-22s %s\n", "line size", "32-bit address", "64-bit address (44 used)")
 		for _, blk := range []int{64, 128} {
 			row := fmt.Sprintf("%dB/line", blk)
 			var cols []string
@@ -36,28 +58,24 @@ func main() {
 					cols = append(cols, fmt.Sprintf("%.1f%%", c.Percent))
 				}
 			}
-			fmt.Printf("%-14s %-22s %s\n", row, cols[0], cols[1])
+			fmt.Fprintf(stdout, "%-14s %-22s %s\n", row, cols[0], cols[1])
 		}
-		return
+		return nil
 	}
 
 	p := core.DefaultOverheadParams()
 	o, err := core.ComputeOverhead(p)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("Table 2 — SNUG storage fields (1 MB, 16-way, 64 B lines, 32-bit addresses)")
-	fmt.Printf("  sets                    %d\n", o.Sets)
-	fmt.Printf("  tag field               %d bits\n", o.TagBits)
-	fmt.Printf("  LRU field               %d bits\n", o.LRUBits)
-	fmt.Printf("  L2 line (tag+v+d+CC+f+LRU+data) %d bits\n", o.LineBits)
-	fmt.Printf("  L2 set                  %d bits\n", o.L2SetBits)
-	fmt.Printf("  shadow entry (tag+v+LRU) %d bits\n", o.ShadowTagBits)
-	fmt.Printf("  shadow set (+k-bit counter, mod-p, G/T) %d bits\n", o.ShadowSetBits)
-	fmt.Printf("  storage overhead (Formula 6) = %.1f%%\n", o.Percent())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "overhead:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout, "Table 2 — SNUG storage fields (1 MB, 16-way, 64 B lines, 32-bit addresses)")
+	fmt.Fprintf(stdout, "  sets                    %d\n", o.Sets)
+	fmt.Fprintf(stdout, "  tag field               %d bits\n", o.TagBits)
+	fmt.Fprintf(stdout, "  LRU field               %d bits\n", o.LRUBits)
+	fmt.Fprintf(stdout, "  L2 line (tag+v+d+CC+f+LRU+data) %d bits\n", o.LineBits)
+	fmt.Fprintf(stdout, "  L2 set                  %d bits\n", o.L2SetBits)
+	fmt.Fprintf(stdout, "  shadow entry (tag+v+LRU) %d bits\n", o.ShadowTagBits)
+	fmt.Fprintf(stdout, "  shadow set (+k-bit counter, mod-p, G/T) %d bits\n", o.ShadowSetBits)
+	fmt.Fprintf(stdout, "  storage overhead (Formula 6) = %.1f%%\n", o.Percent())
+	return nil
 }

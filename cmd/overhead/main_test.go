@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunTable2 prints the Formula (6) breakdown with the paper's 3.9%.
+func TestRunTable2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "storage overhead (Formula 6) = 3.9%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunTable3 prints the address-width / line-size grid.
+func TestRunTable3(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table3"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 3", "64B/line", "128B/line", "3.9%", "5.8%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunFlagErrors covers CLI error paths.
+func TestRunFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad flag":        {"-nope"},
+		"positional args": {"extra"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}

@@ -1,21 +1,29 @@
-// Command snugsim runs one quad-core workload combination under one or more
-// LLC management schemes and reports per-core and scheme-level statistics.
+// Command snugsim runs one workload combination under one or more LLC
+// management schemes and reports per-core and scheme-level statistics.
 // Runs go through the sweep engine (internal/sweep): every scheme of one
 // workload sees the same seed-derived instruction streams, so side-by-side
 // scheme numbers are paired — even across separate invocations.
 //
+// Schemes are full spec strings (see schemes.Parse): "SNUG", "L2P" or
+// parameterized specs like "CC(75%)". Workloads are a per-core benchmark
+// list, a Table 8 combo name, or "Nx<bench>" for an N-core stress test; the
+// system widens to the workload's core count automatically.
+//
 // Usage:
 //
 //	snugsim -scheme SNUG -workload ammp,parser,swim,mesa -cycles 2000000
-//	snugsim -scheme L2P,CC,SNUG -workload 4xammp   # paired comparison table
-//	snugsim -scheme CC -ccpct 75 -workload 4xammp
+//	snugsim -scheme L2P,CC(75%),SNUG -workload 4xammp  # paired comparison
+//	snugsim -scheme SNUG -workload 8xammp              # 8-core scale-out
 //	snugsim -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"snug/internal/cmp"
@@ -26,26 +34,46 @@ import (
 )
 
 func main() {
-	scheme := flag.String("scheme", "SNUG",
-		"L2 scheme (L2P, L2S, CC, DSR or SNUG), or a comma-separated list to compare")
-	workload := flag.String("workload", "ammp,parser,swim,mesa",
-		"comma-separated benchmark per core, a Table 8 combo name, or 4x<bench>")
-	cycles := flag.Int64("cycles", 5_000_000, "cycles to simulate")
-	ccpct := flag.Int("ccpct", 100, "CC spill probability in percent (0,25,50,75,100)")
-	par := flag.Int("par", 0, "concurrent simulations when comparing schemes (0 = GOMAXPROCS)")
-	scale := flag.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
-	seed := flag.Uint64("seed", 0, "override simulation seed (0 = default)")
-	list := flag.Bool("list", false, "list benchmarks, combos and schemes, then exit")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h/-help: usage already printed, a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snugsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments; main is a thin
+// wrapper so tests can drive the full flag-to-output path.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("snugsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scheme := fs.String("scheme", "SNUG",
+		"L2 scheme spec (L2P, L2S, CC, CC(75%), DSR or SNUG), or a comma-separated list to compare")
+	workload := fs.String("workload", "ammp,parser,swim,mesa",
+		"comma-separated benchmark per core, a Table 8 combo name, or Nx<bench>")
+	cycles := fs.Int64("cycles", 5_000_000, "cycles to simulate")
+	ccpct := fs.Int("ccpct", 100, "spill probability for bare \"CC\" specs, in percent (0,25,50,75,100)")
+	par := fs.Int("par", 0, "concurrent simulations when comparing schemes (0 = GOMAXPROCS)")
+	scale := fs.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
+	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
+	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	if *list {
-		fmt.Println("benchmarks:", strings.Join(trace.Names(), " "))
-		fmt.Println("schemes:   ", strings.Join(cmp.SchemeNames(), " "))
-		fmt.Println("combos (Table 8):")
+		fmt.Fprintln(stdout, "benchmarks:", strings.Join(trace.Names(), " "))
+		fmt.Fprintln(stdout, "schemes:   ", strings.Join(cmp.SchemeNames(), " "))
+		fmt.Fprintln(stdout, "combos (Table 8):")
 		for _, c := range workloads.Table8() {
-			fmt.Printf("  %-3s %s\n", c.Class, c.Name)
+			fmt.Fprintf(stdout, "  %-3s %s\n", c.Class, c.Name)
 		}
-		return
+		return nil
 	}
 
 	cfg := config.Default()
@@ -57,13 +85,21 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	bench, err := resolveWorkload(*workload, cfg.Cores)
+	bench, err := resolveWorkload(*workload)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	schemes := strings.Split(*scheme, ",")
+	// Widen the system to the workload: "8xammp" runs on the 8-core
+	// scale-out configuration without further flags.
+	if len(bench) != cfg.Cores {
+		if cfg, err = config.WithCores(cfg, len(bench)); err != nil {
+			return fmt.Errorf("workload %q: %w", *workload, err)
+		}
+	}
+
+	specs := splitSpecs(*scheme)
 	var jobs []sweep.Job
-	for _, s := range schemes {
+	for _, s := range specs {
 		s := s
 		jobs = append(jobs, sweep.Job{
 			Key:     s,
@@ -77,66 +113,89 @@ func main() {
 	}
 	results, err := sweep.Run(sweep.Options{Parallelism: *par, BaseSeed: cfg.Seed}, jobs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	if len(schemes) > 1 {
-		fmt.Printf("workload=%s cycles=%d\n", *workload, *cycles)
-		for _, s := range schemes {
+	if len(specs) > 1 {
+		fmt.Fprintf(stdout, "workload=%s cores=%d cycles=%d\n", *workload, len(bench), *cycles)
+		for _, s := range specs {
 			r := results[s]
-			fmt.Printf("  %-5s throughput=%.4f spills=%-7d retrHits=%-7d dram=%d\n",
+			fmt.Fprintf(stdout, "  %-9s throughput=%.4f spills=%-7d retrHits=%-7d dram=%d\n",
 				s, r.Throughput(), r.Report.Spills, r.Report.RetrievalHits, r.Report.DRAM.Reads)
 		}
-		return
+		return nil
 	}
 
-	res := results[schemes[0]]
-	fmt.Printf("scheme=%s cycles=%d throughput=%.4f\n", res.Scheme, res.Cycles, res.Throughput())
+	res := results[specs[0]]
+	fmt.Fprintf(stdout, "scheme=%s cycles=%d throughput=%.4f\n", res.Scheme, res.Cycles, res.Throughput())
 	for i, c := range res.Cores {
 		src := res.Report.PerCore[i]
-		fmt.Printf("core %d %-8s IPC=%.4f instr=%-9d L1miss=%.2f%%  L2[local=%d remote=%d wb=%d dram=%d]\n",
+		fmt.Fprintf(stdout, "core %d %-8s IPC=%.4f instr=%-9d L1miss=%.2f%%  L2[local=%d remote=%d wb=%d dram=%d]\n",
 			i, c.Benchmark, c.IPC, c.Instructions, c.L1MissRate()*100,
 			src.BySource[0], src.BySource[1], src.BySource[2], src.BySource[3])
 	}
 	r := res.Report
-	fmt.Printf("spills=%d (dropped=%d) retrievals=%d hits=%d stranded=%d\n",
+	fmt.Fprintf(stdout, "spills=%d (dropped=%d) retrievals=%d hits=%d stranded=%d\n",
 		r.Spills, r.SpillNoTaker, r.Retrievals, r.RetrievalHits, r.StrandedDropped)
-	fmt.Printf("bus: snoop=%d data=%d writeback=%d busy=%d wait=%d\n",
+	fmt.Fprintf(stdout, "bus: snoop=%d data=%d writeback=%d busy=%d wait=%d\n",
 		r.Bus.Count(0), r.Bus.Count(1), r.Bus.Count(2), r.Bus.BusyCycles, r.Bus.WaitCycles)
-	fmt.Printf("dram: reads=%d writes=%d\n", r.DRAM.Reads, r.DRAM.Writes)
+	fmt.Fprintf(stdout, "dram: reads=%d writes=%d\n", r.DRAM.Reads, r.DRAM.Writes)
+	return nil
 }
 
-// resolveWorkload accepts "a,b,c,d", a Table 8 combo name, or "4xbench".
-func resolveWorkload(w string, cores int) ([]string, error) {
+// splitSpecs splits a comma-separated scheme list into trimmed spec
+// strings without breaking inside a spec's argument list: "CC(75%),SNUG"
+// is two specs, and a future multi-argument "X(a,b),SNUG" stays intact
+// (the spec grammar allows NAME(arg,arg,...)).
+func splitSpecs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return append(out, strings.TrimSpace(s[start:]))
+}
+
+// resolveWorkload accepts "a,b,c,d", a Table 8 combo name, or "Nxbench"
+// (e.g. "4xammp", "8xmcf") for an N-core stress test.
+func resolveWorkload(w string) ([]string, error) {
 	for _, c := range workloads.Table8() {
 		if c.Name == w {
 			return c.Cores, nil
 		}
 	}
-	if strings.HasPrefix(w, "4x") {
-		b := strings.TrimPrefix(w, "4x")
-		if _, err := trace.ByName(b); err != nil {
-			return nil, err
+	if pre, bench, ok := strings.Cut(w, "x"); ok && !strings.Contains(w, ",") {
+		if n, err := strconv.Atoi(pre); err == nil {
+			if n <= 0 {
+				return nil, fmt.Errorf("workload %q: core count must be positive", w)
+			}
+			if _, err := trace.ByName(bench); err != nil {
+				return nil, err
+			}
+			out := make([]string, n)
+			for i := range out {
+				out[i] = bench
+			}
+			return out, nil
 		}
-		out := make([]string, cores)
-		for i := range out {
-			out[i] = b
-		}
-		return out, nil
 	}
 	parts := strings.Split(w, ",")
-	if len(parts) != cores {
-		return nil, fmt.Errorf("workload %q has %d entries, want %d", w, len(parts), cores)
-	}
 	for _, p := range parts {
 		if _, err := trace.ByName(p); err != nil {
 			return nil, err
 		}
 	}
 	return parts, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snugsim:", err)
-	os.Exit(1)
 }

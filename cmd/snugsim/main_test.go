@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleScheme drives one tiny simulation end to end.
+func TestRunSingleScheme(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scheme=L2P", "core 0 gzip", "dram:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunComparisonWithSpecs compares schemes given as full specs,
+// including a parameterized CC, on an 8-core scale-out workload.
+func TestRunComparisonWithSpecs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scheme", "L2P,CC(75%)", "-workload", "8xgzip", "-cycles", "50000"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cores=8", "L2P", "CC(75%)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunList prints the registry-backed scheme list.
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmarks:", "CC DSR L2P L2S SNUG", "4xammp"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestHelpIsNotAnError: -h surfaces flag.ErrHelp, which main maps to a
+// successful exit (usage is not a failure).
+func TestHelpIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}, io.Discard, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestSplitSpecs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SNUG", []string{"SNUG"}},
+		{"L2P, CC(75%) ,SNUG", []string{"L2P", "CC(75%)", "SNUG"}},
+		{"X(a,b),SNUG", []string{"X(a,b)", "SNUG"}}, // commas inside args survive
+	}
+	for _, c := range cases {
+		if got := splitSpecs(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitSpecs(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestResolveWorkload(t *testing.T) {
+	got, err := resolveWorkload("8xammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || got[0] != "ammp" || got[7] != "ammp" {
+		t.Fatalf("8xammp resolved to %v", got)
+	}
+	got, err = resolveWorkload("ammp+parser+bzip2+mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ammp", "parser", "bzip2", "mcf"}) {
+		t.Fatalf("combo name resolved to %v", got)
+	}
+	// "vortex" contains an 'x' but is a plain benchmark name.
+	got, err = resolveWorkload("vortex,vortex,vortex,vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != "vortex" {
+		t.Fatalf("vortex list resolved to %v", got)
+	}
+	for _, bad := range []string{"nope", "0xammp", "4xnope"} {
+		if _, err := resolveWorkload(bad); err == nil {
+			t.Errorf("resolveWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunFlagErrors covers CLI error paths, including non-scalable widths.
+func TestRunFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":        {"-nope"},
+		"positional args": {"extra"},
+		"bad scheme":      {"-scheme", "victim-cache", "-cycles", "1000"},
+		"bad benchmark":   {"-workload", "nope", "-cycles", "1000"},
+		"bad width":       {"-workload", "gzip,gzip", "-cycles", "1000"},
+	}
+	for name, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}

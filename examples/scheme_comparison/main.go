@@ -28,12 +28,9 @@ func main() {
 	fmt.Printf("%-10s %11s %8s %8s %8s\n", "scheme", "throughput", "norm", "AWS", "FS")
 	fmt.Printf("%-10s %11.4f %8.3f %8.3f %8.3f\n", "L2P", baseline.Throughput(), 1.0, 1.0, 1.0)
 
-	for _, scheme := range []string{"L2S", "CC", "DSR", "SNUG"} {
-		c := cfg
-		if scheme == "CC" {
-			c.CC.SpillPercent = 75
-		}
-		res, err := cmp.RunWorkload(c, scheme, workload, cycles)
+	// Schemes are spec strings: CC's spill probability rides in the spec.
+	for _, scheme := range []string{"L2S", "CC(75%)", "DSR", "SNUG"} {
+		res, err := cmp.RunWorkload(cfg, scheme, workload, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,6 @@
-// Package cmp assembles and drives the simulated quad-core CMP: per-core
-// out-of-order cores and private L1 data caches on top of one of the LLC
+// Package cmp assembles and drives the simulated CMP — the paper's
+// quad-core system or a scaled-out N-core variant: per-core out-of-order
+// cores and private L1 data caches on top of one of the registered LLC
 // scheme controllers (L2P, L2S, CC, DSR, SNUG). Cores advance in lock-step
 // quanta; cross-core structures (bus, peer slices, DRAM) are
 // timestamp-arbitrated inside the controller. For a fixed configuration,
@@ -8,43 +9,29 @@ package cmp
 
 import (
 	"fmt"
-	"sort"
 
 	"snug/internal/addr"
 	"snug/internal/cache"
 	"snug/internal/config"
-	"snug/internal/core"
 	"snug/internal/cpu"
 	"snug/internal/isa"
 	"snug/internal/schemes"
 	"snug/internal/trace"
+
+	// Link the SNUG controller: internal/core registers the "SNUG" family
+	// in the scheme-spec registry from its package init.
+	_ "snug/internal/core"
 )
 
-// NewController builds the named scheme controller. Valid names: "L2P",
-// "L2S", "CC" (spill probability from cfg.CC.SpillPercent), "DSR", "SNUG".
-func NewController(name string, cfg config.System) (schemes.Controller, error) {
-	switch name {
-	case "L2P":
-		return schemes.NewL2P(cfg), nil
-	case "L2S":
-		return schemes.NewL2S(cfg), nil
-	case "CC":
-		return schemes.NewCC(cfg), nil
-	case "DSR":
-		return schemes.NewDSR(cfg), nil
-	case "SNUG":
-		return core.New(cfg), nil
-	default:
-		return nil, fmt.Errorf("cmp: unknown scheme %q (want L2P, L2S, CC, DSR or SNUG)", name)
-	}
+// NewController builds the controller for a scheme spec string — a
+// registered scheme name with optional parameters, e.g. "L2P", "SNUG" or
+// "CC(75%)" (see schemes.Parse for the grammar).
+func NewController(spec string, cfg config.System) (schemes.Controller, error) {
+	return schemes.Build(spec, cfg)
 }
 
-// SchemeNames returns the recognized scheme names, sorted.
-func SchemeNames() []string {
-	names := []string{"L2P", "L2S", "CC", "DSR", "SNUG"}
-	sort.Strings(names)
-	return names
-}
+// SchemeNames returns the registered scheme family names, sorted.
+func SchemeNames() []string { return schemes.Names() }
 
 // CoreResult summarizes one core's execution.
 type CoreResult struct {

@@ -1,8 +1,9 @@
 // Package config defines the simulated system's configuration — the
 // quad-core CMP of the paper's Table 4 — plus scaled presets used by the
-// test suite and the benchmark harness. Every latency, size and epoch
-// constant in the simulator is sourced from here so that experiments can be
-// scaled coherently.
+// test suite and the benchmark harness, and N-core scale-out variants
+// (WithCores, DefaultN, TestScaleN) behind the scaling study. Every
+// latency, size and epoch constant in the simulator is sourced from here so
+// that experiments can be scaled coherently.
 package config
 
 import "fmt"
@@ -15,21 +16,21 @@ type Core struct {
 	LSQSize     int // load/store queue entries (64)
 	RUUSize     int // register update unit / window entries (128)
 
-	IntALUs  int // 4
-	FPALUs   int // 4
-	MultDiv  int // 1 multiplier + 1 divider
-	ALULat   int // integer op latency
-	FPLat    int // floating-point op latency
-	MultLat  int // multiply latency
-	DivLat   int // divide latency
-	LoadLat  int // address-generation + L1 pipeline latency component
+	IntALUs int // 4
+	FPALUs  int // 4
+	MultDiv int // 1 multiplier + 1 divider
+	ALULat  int // integer op latency
+	FPLat   int // floating-point op latency
+	MultLat int // multiply latency
+	DivLat  int // divide latency
+	LoadLat int // address-generation + L1 pipeline latency component
 
-	BranchPenalty  int // misprediction penalty in cycles (3)
-	HistoryLength  int // global history bits of the 2-level predictor (10)
-	PredictorSize  int // pattern-history-table entries (1024)
-	BTBSets        int // 512
-	BTBWays        int // 4
-	RASEntries     int // 8
+	BranchPenalty int // misprediction penalty in cycles (3)
+	HistoryLength int // global history bits of the 2-level predictor (10)
+	PredictorSize int // pattern-history-table entries (1024)
+	BTBSets       int // 512
+	BTBWays       int // 4
+	RASEntries    int // 8
 }
 
 // CacheGeom holds one cache array's geometry.
@@ -91,12 +92,12 @@ type CC struct {
 
 // System is the complete simulated-system configuration.
 type System struct {
-	Cores  int // 4
-	Core   Core
-	Mem    Memory
-	SNUG   SNUG
-	DSR    DSR
-	CC     CC
+	Cores int // 4
+	Core  Core
+	Mem   Memory
+	SNUG  SNUG
+	DSR   DSR
+	CC    CC
 	// Quantum is the multi-core lock-step quantum in cycles: each core runs
 	// to the next quantum boundary before cross-core state is advanced.
 	Quantum int64
@@ -178,6 +179,54 @@ func TestScale() System {
 	s.DSR.SampleSets = 2
 	return s
 }
+
+// WithCores returns the quad-core base s widened to n cores for the
+// scale-out scenarios. Per-core structures — L2 slices, write buffers,
+// L1s, DSR sample sets — replicate with the core count, so total LLC
+// capacity grows linearly (the scale-out model: each added core brings its
+// slice). The shared snoop bus widens in proportion to keep per-core
+// bandwidth constant: the data-path width doubles with every core-count
+// doubling up to the block size, after which the core-to-bus clock ratio
+// steps down instead. The bus scaling is relative to the quad-core
+// baseline, so s must have Cores == 4 (widening an already-widened system
+// would compound it); n must be 4·2^k so the widened bus geometry stays a
+// power of two. WithCores(s, 4) = s.
+func WithCores(s System, n int) (System, error) {
+	if s.Cores != 4 {
+		return System{}, fmt.Errorf("config: WithCores needs the quad-core base, got %d cores", s.Cores)
+	}
+	if n <= 0 || n%4 != 0 || (n/4)&(n/4-1) != 0 {
+		return System{}, fmt.Errorf("config: core count %d must be 4, 8, 16, ... (4 times a power of two)", n)
+	}
+	factor := n / 4
+	s.Cores = n
+	width := s.Mem.BusWidthBytes * factor
+	if width > s.Mem.L2Slice.BlockBytes {
+		// A data beat cannot exceed one block; convert the leftover factor
+		// into a faster bus clock. When the clock ratio cannot absorb it
+		// either, the constant-per-core-bandwidth invariant is unmeetable —
+		// error out rather than silently under-provision the bus.
+		leftover := width / s.Mem.L2Slice.BlockBytes
+		width = s.Mem.L2Slice.BlockBytes
+		if s.Mem.BusSpeedRatio%leftover != 0 || s.Mem.BusSpeedRatio/leftover < 1 {
+			return System{}, fmt.Errorf(
+				"config: cannot scale the bus to %d cores: width is capped at the %d B block and the %d:1 clock ratio cannot absorb the remaining x%d",
+				n, s.Mem.L2Slice.BlockBytes, s.Mem.BusSpeedRatio, leftover)
+		}
+		s.Mem.BusSpeedRatio /= leftover
+	}
+	s.Mem.BusWidthBytes = width
+	return s, nil
+}
+
+// DefaultN returns the Table 4 configuration widened to n cores; n = 4 is
+// Default() itself.
+func DefaultN(n int) (System, error) { return WithCores(Default(), n) }
+
+// TestScaleN returns the scaled test configuration widened to n cores, the
+// preset behind the 8- and 16-core test scenarios and the scaling study at
+// test scale.
+func TestScaleN(n int) (System, error) { return WithCores(TestScale(), n) }
 
 // Scaled returns the Table 4 configuration with SNUG stage lengths divided
 // by factor, for runs shorter than the paper's 3-billion-cycle simulations.

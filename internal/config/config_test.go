@@ -90,6 +90,88 @@ func TestTestScaleValid(t *testing.T) {
 	}
 }
 
+// TestWithCoresScaleOut pins the scale-out presets: per-core structures
+// replicate, the bus widens to keep per-core bandwidth constant, and the
+// widened configurations validate.
+func TestWithCoresScaleOut(t *testing.T) {
+	quad, err := WithCores(Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad != Default() {
+		t.Error("WithCores(Default(), 4) != Default()")
+	}
+
+	cases := []struct {
+		cores    int
+		busWidth int
+		busRatio int
+	}{
+		{8, 32, 4},
+		{16, 64, 4},
+		{32, 64, 2}, // width caps at the 64 B block; clock ratio steps down
+	}
+	for _, c := range cases {
+		s, err := DefaultN(c.cores)
+		if err != nil {
+			t.Fatalf("DefaultN(%d): %v", c.cores, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("DefaultN(%d) invalid: %v", c.cores, err)
+		}
+		if s.Cores != c.cores {
+			t.Errorf("DefaultN(%d).Cores = %d", c.cores, s.Cores)
+		}
+		if s.Mem.BusWidthBytes != c.busWidth || s.Mem.BusSpeedRatio != c.busRatio {
+			t.Errorf("DefaultN(%d) bus %dB ratio %d, want %dB ratio %d",
+				c.cores, s.Mem.BusWidthBytes, s.Mem.BusSpeedRatio, c.busWidth, c.busRatio)
+		}
+		// Per-core structures are untouched by widening.
+		if s.Mem.L2Slice != Default().Mem.L2Slice || s.Mem.WriteBufEntries != Default().Mem.WriteBufEntries {
+			t.Errorf("DefaultN(%d) changed per-core geometry", c.cores)
+		}
+	}
+
+	for _, n := range []int{8, 16} {
+		s, err := TestScaleN(n)
+		if err != nil {
+			t.Fatalf("TestScaleN(%d): %v", n, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("TestScaleN(%d) invalid: %v", n, err)
+		}
+		if s.Cores != n || s.Mem.L2Slice.Sets() != 64 {
+			t.Errorf("TestScaleN(%d): cores %d, sets %d", n, s.Cores, s.Mem.L2Slice.Sets())
+		}
+	}
+
+	for _, bad := range []int{0, -4, 2, 6, 12, 20} {
+		if _, err := WithCores(Default(), bad); err == nil {
+			t.Errorf("WithCores(%d) accepted", bad)
+		}
+	}
+
+	// The bus scaling is quad-relative: widening an already-widened system
+	// would compound it, so only a 4-core base is accepted.
+	wide, err := DefaultN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WithCores(wide, 16); err == nil {
+		t.Error("WithCores accepted an already-widened base")
+	}
+
+	// Beyond 64 cores neither the bus width (capped at the block size) nor
+	// the 4:1 clock ratio can keep per-core bandwidth constant: refuse
+	// rather than silently under-provision.
+	if s, err := DefaultN(64); err != nil || s.Mem.BusSpeedRatio != 1 {
+		t.Errorf("DefaultN(64) = ratio %d, %v; want ratio 1", s.Mem.BusSpeedRatio, err)
+	}
+	if _, err := DefaultN(128); err == nil {
+		t.Error("DefaultN(128) accepted despite an unmeetable bus-bandwidth invariant")
+	}
+}
+
 func TestValidateCatchesErrors(t *testing.T) {
 	cases := []func(*System){
 		func(s *System) { s.Cores = 0 },

@@ -56,6 +56,19 @@ type SNUG struct {
 	stats SNUGStats
 }
 
+// SNUG registers itself in the scheme-spec registry so that any package
+// linking the controller can build it via schemes.Parse("SNUG"). The
+// registration lives here rather than in internal/schemes because schemes
+// cannot import core (core embeds schemes.Hierarchy).
+func init() {
+	schemes.Register(schemes.Family{
+		Name: "SNUG",
+		New: func(_ schemes.Spec, cfg config.System) (schemes.Controller, error) {
+			return New(cfg), nil
+		},
+	})
+}
+
 // New builds the SNUG controller for cfg.
 func New(cfg config.System) *SNUG {
 	h := schemes.NewHierarchy(cfg)

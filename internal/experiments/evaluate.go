@@ -1,8 +1,10 @@
 // Package experiments orchestrates the paper's evaluation: the
 // characterization of Figures 1–3, the scheme comparison of Figures 9–11
-// over the 21 workload combinations of Table 8, the overhead tables, and
-// the ablation studies of SNUG's design choices. It is the engine behind
-// cmd/experiments, the examples, and the repository's benchmark suite.
+// over the 21 workload combinations of Table 8, the overhead tables, the
+// ablation studies of SNUG's design choices, and the N-core scaling study
+// that extends the matrix beyond the paper's quad-core system. It is the
+// engine behind cmd/experiments, the examples, and the repository's
+// benchmark suite.
 package experiments
 
 import (
@@ -14,6 +16,7 @@ import (
 	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/metrics"
+	"snug/internal/schemes"
 	"snug/internal/stats"
 	"snug/internal/sweep"
 	"snug/internal/workloads"
@@ -28,6 +31,9 @@ var FigureSchemes = []string{"L2S", "CC(Best)", "DSR", "SNUG"}
 
 // Options configures an evaluation.
 type Options struct {
+	// Cfg is the simulated system. Its core count selects the evaluation
+	// width: 4 runs the paper's Table 8 matrix, 8/16/... run the
+	// class-consistent scale-out combinations of workloads.ScaleOut.
 	Cfg         config.System
 	RunCycles   int64
 	Parallelism int      // concurrent simulations (0 = runtime.GOMAXPROCS(0))
@@ -51,7 +57,7 @@ type Options struct {
 type ComboResult struct {
 	Combo       workloads.Combo
 	Baseline    cmp.RunResult
-	Runs        map[string]cmp.RunResult      // keyed by scheme label
+	Runs        map[string]cmp.RunResult      // keyed by scheme spec label
 	CCBestPct   int                           // spill probability behind CC(Best)
 	Comparisons map[string]metrics.Comparison // keyed by FigureSchemes labels
 }
@@ -62,8 +68,12 @@ type Evaluation struct {
 	Combos  []ComboResult
 }
 
-// evalSchemes are the non-baseline controllers the full matrix evaluates.
+// evalSchemes are the non-baseline scheme families the full matrix
+// evaluates, in figure order.
 var evalSchemes = []string{"L2S", "CC", "DSR", "SNUG"}
+
+// baselineSpec labels the baseline every metric normalizes to.
+var baselineSpec = schemes.Spec{Family: "L2P"}
 
 // selectSchemes validates and normalizes the Schemes option into evalSchemes
 // order. "L2P" entries are dropped — the baseline always runs.
@@ -98,6 +108,23 @@ func selectSchemes(want []string) ([]string, error) {
 	return out, nil
 }
 
+// specsFor expands selected scheme families into concrete specs: "CC"
+// becomes one spec per evaluated spill probability (CC(Best) is selected
+// from them after the sweep), every other family is a bare spec.
+func specsFor(selected []string) []schemes.Spec {
+	var specs []schemes.Spec
+	for _, family := range selected {
+		if family == "CC" {
+			for _, pct := range CCPercents {
+				specs = append(specs, schemes.MustParse(fmt.Sprintf("CC(%d%%)", pct)))
+			}
+			continue
+		}
+		specs = append(specs, schemes.MustParse(family))
+	}
+	return specs
+}
+
 // fingerprint identifies everything that changes a run's result — the
 // system configuration (which embeds the base seed) and the run length —
 // so a checkpoint store refuses to mix results across configurations.
@@ -105,16 +132,58 @@ func selectSchemes(want []string) ([]string, error) {
 // run, not what any job computes, so a store warmed by a subset sweep is
 // reusable by a wider one.
 func fingerprint(opt Options) (string, error) {
-	cfgJSON, err := json.Marshal(opt.Cfg)
+	h, err := cfgHash(opt.Cfg)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("evaluate/cycles=%d/cfg=%s", opt.RunCycles, h), nil
+}
+
+// cfgHash hashes a system configuration for fingerprinting.
+func cfgHash(cfg config.System) (string, error) {
+	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
 		return "", fmt.Errorf("experiments: fingerprint config: %w", err)
 	}
-	return fmt.Sprintf("evaluate/cycles=%d/cfg=%016x", opt.RunCycles, stats.HashString(string(cfgJSON))), nil
+	return fmt.Sprintf("%016x", stats.HashString(string(cfgJSON))), nil
 }
 
 // jobKey identifies one (combo, labelled run) pair in the sweep; it is also
-// the run's checkpoint key, so it must stay stable across releases.
+// the run's checkpoint key, so it must stay stable across releases. Labels
+// are canonical spec strings (schemes.Spec.String), giving keys like
+// "4xammp/CC(75%)".
 func jobKey(combo, label string) string { return combo + "/" + label }
+
+// comboJobs appends one combo's runs — the L2P baseline plus every spec —
+// to jobs. All of a combo's runs share its name as SeedKey, so every scheme
+// sees identical instruction streams (paired comparisons).
+func comboJobs(jobs []sweep.Job, cfg config.System, combo workloads.Combo, specs []schemes.Spec, cycles int64) []sweep.Job {
+	for _, spec := range append([]schemes.Spec{baselineSpec}, specs...) {
+		label := spec.String()
+		jobs = append(jobs, sweep.Job{
+			Key:     jobKey(combo.Name, label),
+			SeedKey: combo.Name,
+			Run: func(seed uint64) (cmp.RunResult, error) {
+				c := cfg
+				c.Seed = seed
+				return cmp.RunWorkload(c, label, combo.Cores, cycles)
+			},
+		})
+	}
+	return jobs
+}
+
+// collect fills the combo's runs from the sweep results and finalizes the
+// comparisons for the selected scheme families.
+func (cr *ComboResult) collect(results map[string]cmp.RunResult, selected []string) error {
+	cr.Baseline = results[jobKey(cr.Combo.Name, baselineSpec.String())]
+	for key, res := range results {
+		if combo, label, ok := strings.Cut(key, "/"); ok && combo == cr.Combo.Name {
+			cr.Runs[label] = res
+		}
+	}
+	return cr.finalize(selected)
+}
 
 // Evaluate runs the evaluation matrix through the sweep engine: for every
 // selected combo, the L2P baseline plus every selected scheme, with CC at
@@ -127,45 +196,28 @@ func Evaluate(opt Options) (*Evaluation, error) {
 	if opt.RunCycles <= 0 {
 		return nil, fmt.Errorf("experiments: RunCycles must be positive")
 	}
-	combos := selectCombos(opt.Classes)
-	if len(combos) == 0 {
-		return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
-	}
-	schemes, err := selectSchemes(opt.Schemes)
+	combos, err := selectCombos(opt.Classes, opt.Cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
+	}
+	selected, err := selectSchemes(opt.Schemes)
+	if err != nil {
+		return nil, err
+	}
+	specs := specsFor(selected)
 
 	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos))}
 	var jobs []sweep.Job
-	addJob := func(combo workloads.Combo, label, scheme string, ccPct int) {
-		jobs = append(jobs, sweep.Job{
-			Key:     jobKey(combo.Name, label),
-			SeedKey: combo.Name,
-			Run: func(seed uint64) (cmp.RunResult, error) {
-				cfg := opt.Cfg
-				cfg.Seed = seed
-				cfg.CC.SpillPercent = ccPct
-				return cmp.RunWorkload(cfg, scheme, combo.Cores, opt.RunCycles)
-			},
-		})
-	}
 	for i, combo := range combos {
 		ev.Combos[i] = ComboResult{
 			Combo:       combo,
 			Runs:        make(map[string]cmp.RunResult),
 			Comparisons: make(map[string]metrics.Comparison),
 		}
-		addJob(combo, "L2P", "L2P", 0)
-		for _, scheme := range schemes {
-			if scheme == "CC" {
-				for _, pct := range CCPercents {
-					addJob(combo, fmt.Sprintf("CC(%d%%)", pct), "CC", pct)
-				}
-			} else {
-				addJob(combo, scheme, scheme, 0)
-			}
-		}
+		jobs = comboJobs(jobs, opt.Cfg, combo, specs, opt.RunCycles)
 	}
 
 	fp, err := fingerprint(opt)
@@ -180,39 +232,37 @@ func Evaluate(opt Options) (*Evaluation, error) {
 		OnProgress:  opt.Progress,
 	}, jobs)
 	if err != nil {
-		var je *sweep.JobError
-		if errors.As(err, &je) {
-			if combo, label, ok := strings.Cut(je.Key, "/"); ok {
-				return nil, fmt.Errorf("experiments: combo %s, run %s: %w", combo, label, je.Err)
-			}
-		}
-		return nil, fmt.Errorf("experiments: %w", err)
+		return nil, evalErr(err)
 	}
 
 	for i := range ev.Combos {
-		cr := &ev.Combos[i]
-		cr.Baseline = results[jobKey(cr.Combo.Name, "L2P")]
-		for key, res := range results {
-			if combo, label, ok := strings.Cut(key, "/"); ok && combo == cr.Combo.Name {
-				cr.Runs[label] = res
-			}
-		}
-		if err := cr.finalize(schemes); err != nil {
+		if err := ev.Combos[i].collect(results, selected); err != nil {
 			return nil, err
 		}
 	}
 	return ev, nil
 }
 
+// evalErr renders a sweep failure with combo + run context.
+func evalErr(err error) error {
+	var je *sweep.JobError
+	if errors.As(err, &je) {
+		if combo, label, ok := strings.Cut(je.Key, "/"); ok {
+			return fmt.Errorf("experiments: combo %s, run %s: %w", combo, label, je.Err)
+		}
+	}
+	return fmt.Errorf("experiments: %w", err)
+}
+
 // finalize selects CC(Best) and computes the Table 5 comparisons for the
 // schemes that ran.
-func (cr *ComboResult) finalize(schemes []string) error {
-	selected := map[string]bool{}
-	for _, s := range schemes {
-		selected[s] = true
+func (cr *ComboResult) finalize(selected []string) error {
+	sel := map[string]bool{}
+	for _, s := range selected {
+		sel[s] = true
 	}
 	cr.CCBestPct = -1
-	if selected["CC"] {
+	if sel["CC"] {
 		bestPct, bestTput := -1, 0.0
 		for _, pct := range CCPercents {
 			r, ok := cr.Runs[fmt.Sprintf("CC(%d%%)", pct)]
@@ -232,7 +282,7 @@ func (cr *ComboResult) finalize(schemes []string) error {
 		if label == "CC(Best)" {
 			scheme = "CC"
 		}
-		if !selected[scheme] {
+		if !sel[scheme] {
 			continue
 		}
 		r, ok := cr.Runs[label]
@@ -249,11 +299,18 @@ func (cr *ComboResult) finalize(schemes []string) error {
 	return nil
 }
 
-// selectCombos filters Table 8 by class labels.
-func selectCombos(classes []string) []workloads.Combo {
-	all := workloads.Table8()
+// selectCombos filters the width-core scale-out matrix by class labels.
+// Width 4 (or 0) is the paper's Table 8.
+func selectCombos(classes []string, width int) ([]workloads.Combo, error) {
+	if width == 0 {
+		width = 4
+	}
+	all, err := workloads.ScaleOut(width)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	if len(classes) == 0 {
-		return all
+		return all, nil
 	}
 	want := map[string]bool{}
 	for _, c := range classes {
@@ -265,7 +322,7 @@ func selectCombos(classes []string) []workloads.Combo {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ClassSeries is one figure's dataset: per class (plus AVG), per scheme,
@@ -278,8 +335,11 @@ type ClassSeries struct {
 }
 
 // Figure computes the Figure 9/10/11 dataset for the chosen metric. Only
-// schemes the evaluation actually ran appear (see Options.Schemes).
-func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
+// schemes the evaluation actually ran appear (see Options.Schemes); a
+// scheme must be present in every combo — ragged data (a scheme missing
+// from some combos, e.g. a partial or filtered run) is an error rather than
+// a silently dropped or skewed series.
+func (ev *Evaluation) Figure(metric metrics.MetricKind) (ClassSeries, error) {
 	classes := presentClasses(ev.Combos)
 	cs := ClassSeries{
 		Metric:  metric,
@@ -287,10 +347,19 @@ func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
 		Values:  make(map[string][]float64),
 	}
 	for _, scheme := range FigureSchemes {
-		if len(ev.Combos) > 0 {
-			if _, ok := ev.Combos[0].Comparisons[scheme]; !ok {
-				continue
+		present := 0
+		for _, cr := range ev.Combos {
+			if _, ok := cr.Comparisons[scheme]; ok {
+				present++
 			}
+		}
+		if present == 0 {
+			continue
+		}
+		if present != len(ev.Combos) {
+			return ClassSeries{}, fmt.Errorf(
+				"experiments: scheme %s present in %d of %d combos — ragged evaluation data",
+				scheme, present, len(ev.Combos))
 		}
 		cs.Schemes = append(cs.Schemes, scheme)
 		var rows []float64
@@ -309,7 +378,7 @@ func (ev *Evaluation) Figure(metric metrics.MetricKind) ClassSeries {
 		rows = append(rows, stats.GeoMean(all))
 		cs.Values[scheme] = rows
 	}
-	return cs
+	return cs, nil
 }
 
 // presentClasses returns the ordered class labels present in the results.

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"slices"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/metrics"
+	"snug/internal/sweep"
+)
+
+// ScalingOptions configures the N-core scaling study.
+type ScalingOptions struct {
+	// BaseCfg is the quad-core system each point scales out from via
+	// config.WithCores; it must have Cores == 4.
+	BaseCfg config.System
+	// CoreCounts are the evaluated widths, e.g. {4, 8, 16}. Each must be
+	// a valid config.WithCores width.
+	CoreCounts  []int
+	RunCycles   int64
+	Parallelism int
+	Classes     []string // subset of {"C1".."C6"}; nil = all
+	Schemes     []string // same semantics as Options.Schemes
+	// Checkpoint is a sweep results-store path shared by every point: the
+	// study runs as ONE sweep over all (width, combo, scheme) jobs, so an
+	// interrupted study resumes mid-axis and a store warmed with some core
+	// counts extends to more.
+	Checkpoint string
+	Progress   func(sweep.Progress)
+}
+
+// ScalingPoint is the evaluation at one core count.
+type ScalingPoint struct {
+	Cores  int
+	Cfg    config.System // BaseCfg widened to Cores
+	Combos []ComboResult
+}
+
+// ScalingResult is the full scaling-study dataset.
+type ScalingResult struct {
+	Options ScalingOptions
+	Points  []ScalingPoint
+}
+
+// scalingFingerprint identifies the study's result-changing inputs: the
+// base configuration and run length. Core counts, classes and schemes are
+// excluded for the same reason Evaluate excludes Classes/Schemes — they
+// select which jobs run, not what a job computes — so a store warmed with
+// {4,8} serves a later {4,8,16} study.
+func scalingFingerprint(opt ScalingOptions) (string, error) {
+	h, err := cfgHash(opt.BaseCfg)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("scaling/cycles=%d/cfg=%s", opt.RunCycles, h), nil
+}
+
+// ScalingStudy evaluates every selected scheme across core counts: for each
+// width, the class-consistent scale-out combinations (workloads.ScaleOut)
+// run under the L2P baseline plus the selected schemes, all through one
+// sweep. Seeds pair per (width, combo): scale-out combo names are unique
+// per width, so every scheme at one width sees identical instruction
+// streams while widths draw independent streams. Results are bit-identical
+// for any Parallelism.
+func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
+	if opt.RunCycles <= 0 {
+		return nil, fmt.Errorf("experiments: RunCycles must be positive")
+	}
+	if len(opt.CoreCounts) == 0 {
+		return nil, fmt.Errorf("experiments: scaling study needs at least one core count")
+	}
+	if opt.BaseCfg.Cores != 4 {
+		return nil, fmt.Errorf("experiments: scaling BaseCfg has %d cores, want the quad-core base", opt.BaseCfg.Cores)
+	}
+	selected, err := selectSchemes(opt.Schemes)
+	if err != nil {
+		return nil, err
+	}
+	specs := specsFor(selected)
+
+	res := &ScalingResult{Options: opt, Points: make([]ScalingPoint, len(opt.CoreCounts))}
+	var jobs []sweep.Job
+	seen := map[int]bool{}
+	for i, n := range opt.CoreCounts {
+		if seen[n] {
+			return nil, fmt.Errorf("experiments: duplicate core count %d", n)
+		}
+		seen[n] = true
+		cfg, err := config.WithCores(opt.BaseCfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		combos, err := selectCombos(opt.Classes, n)
+		if err != nil {
+			return nil, err
+		}
+		if len(combos) == 0 {
+			return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
+		}
+		res.Points[i] = ScalingPoint{Cores: n, Cfg: cfg, Combos: make([]ComboResult, len(combos))}
+		for j, combo := range combos {
+			res.Points[i].Combos[j] = ComboResult{
+				Combo:       combo,
+				Runs:        make(map[string]cmp.RunResult),
+				Comparisons: make(map[string]metrics.Comparison),
+			}
+			jobs = comboJobs(jobs, cfg, combo, specs, opt.RunCycles)
+		}
+	}
+
+	fp, err := scalingFingerprint(opt)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sweep.Run(sweep.Options{
+		Parallelism: opt.Parallelism,
+		BaseSeed:    opt.BaseCfg.Seed,
+		Checkpoint:  opt.Checkpoint,
+		Fingerprint: fp,
+		OnProgress:  opt.Progress,
+	}, jobs)
+	if err != nil {
+		return nil, evalErr(err)
+	}
+
+	for i := range res.Points {
+		for j := range res.Points[i].Combos {
+			if err := res.Points[i].Combos[j].collect(results, selected); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// ScalingSeries is one metric's scaling table: per core count, per scheme,
+// the cross-class average (the figures' AVG row) at that width.
+type ScalingSeries struct {
+	Metric  metrics.MetricKind
+	Schemes []string             // column labels present, in FigureSchemes order
+	Cores   []int                // row labels
+	Values  map[string][]float64 // scheme label -> value per core count
+}
+
+// Series computes the scaling table for the chosen metric. Every point must
+// expose the same scheme set; ragged data across points is an error.
+func (r *ScalingResult) Series(metric metrics.MetricKind) (ScalingSeries, error) {
+	s := ScalingSeries{Metric: metric, Values: make(map[string][]float64)}
+	for i, p := range r.Points {
+		ev := Evaluation{Combos: p.Combos}
+		cs, err := ev.Figure(metric)
+		if err != nil {
+			return ScalingSeries{}, fmt.Errorf("at %d cores: %w", p.Cores, err)
+		}
+		if i == 0 {
+			s.Schemes = cs.Schemes
+		} else if !slices.Equal(s.Schemes, cs.Schemes) {
+			return ScalingSeries{}, fmt.Errorf(
+				"experiments: scheme sets differ across core counts (%v at %d cores vs %v at %d cores)",
+				s.Schemes, r.Points[0].Cores, cs.Schemes, p.Cores)
+		}
+		s.Cores = append(s.Cores, p.Cores)
+		avgRow := len(cs.Classes) - 1 // the AVG row
+		for _, scheme := range cs.Schemes {
+			s.Values[scheme] = append(s.Values[scheme], cs.Values[scheme][avgRow])
+		}
+	}
+	return s, nil
+}

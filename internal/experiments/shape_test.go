@@ -2,8 +2,10 @@ package experiments_test
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -12,6 +14,7 @@ import (
 	"snug/internal/experiments"
 	"snug/internal/metrics"
 	"snug/internal/sweep"
+	"snug/internal/workloads"
 )
 
 // Fixture run lengths. At test scale a SNUG epoch is 1M cycles (100k stage
@@ -172,7 +175,10 @@ func TestFigure9Shape(t *testing.T) {
 	}
 	evC1, evC2 := evalFixture(t)
 	row := func(ev *experiments.Evaluation, class string) map[string]float64 {
-		fig := ev.Figure(metrics.MetricThroughput)
+		fig, err := ev.Figure(metrics.MetricThroughput)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, c := range fig.Classes {
 			if c == class {
 				out := map[string]float64{}
@@ -215,7 +221,11 @@ func TestIndexFlipAblation(t *testing.T) {
 		t.Skip("ablation run")
 	}
 	evC1, _ := evalFixture(t)
-	with := evC1.Figure(metrics.MetricThroughput).Values["SNUG"][0]
+	withFig, err := evC1.Figure(metrics.MetricThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := withFig.Values["SNUG"][0]
 
 	cfg := config.TestScale()
 	cfg.SNUG.IndexFlip = false
@@ -226,7 +236,11 @@ func TestIndexFlipAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	without := ev.Figure(metrics.MetricThroughput).Values["SNUG"][0]
+	withoutFig, err := ev.Figure(metrics.MetricThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := withoutFig.Values["SNUG"][0]
 	t.Logf("C1 SNUG with flip %.4f, without %.4f", with, without)
 	if without > with+0.005 {
 		t.Errorf("disabling index flipping improved C1 (%.4f -> %.4f)", with, without)
@@ -286,6 +300,58 @@ func TestEvaluateResume(t *testing.T) {
 	}
 }
 
+// TestEvaluateCheckpointKeys pins the checkpoint-store key format: keys are
+// "combo/spec" strings ("4xammp/CC(75%)"), stable across releases so that
+// existing sweep stores keep resuming.
+func TestEvaluateCheckpointKeys(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "keys.sweep.json")
+	_, err := experiments.Evaluate(experiments.Options{
+		Cfg: config.TestScale(), RunCycles: 60_000,
+		Classes: []string{"C1"}, Schemes: []string{"CC"}, Checkpoint: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"4xammp/L2P"`, `"4xammp/CC(0%)"`, `"4xammp/CC(25%)"`,
+		`"4xammp/CC(50%)"`, `"4xammp/CC(75%)"`, `"4xammp/CC(100%)"`,
+		`"4xparser/CC(75%)"`, `"4xvortex/L2P"`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("checkpoint store missing stable key %s", key)
+		}
+	}
+}
+
+// TestFigureRaggedData: a scheme present in only some combos must fail the
+// figure computation instead of silently dropping the series (or skewing
+// it) based on the first combo alone.
+func TestFigureRaggedData(t *testing.T) {
+	full := experiments.ComboResult{
+		Combo:       workloads.Table8()[0],
+		Comparisons: map[string]metrics.Comparison{"SNUG": {Scheme: "SNUG", ThroughputNorm: 1.1}},
+	}
+	empty := experiments.ComboResult{
+		Combo:       workloads.Table8()[1],
+		Comparisons: map[string]metrics.Comparison{},
+	}
+
+	ev := &experiments.Evaluation{Combos: []experiments.ComboResult{full, empty}}
+	if _, err := ev.Figure(metrics.MetricThroughput); err == nil {
+		t.Error("ragged data (scheme in first combo only) accepted")
+	}
+	// The order must not matter: a scheme missing from the FIRST combo but
+	// present later is equally ragged, not an absent series.
+	ev = &experiments.Evaluation{Combos: []experiments.ComboResult{empty, full}}
+	if _, err := ev.Figure(metrics.MetricThroughput); err == nil {
+		t.Error("ragged data (scheme missing from first combo) accepted")
+	}
+}
+
 // TestEvaluateBaselineOnly: Schemes = ["L2P"] runs just the baseline (the
 // option's documentation says L2P always runs, so naming only it is valid).
 func TestEvaluateBaselineOnly(t *testing.T) {
@@ -304,7 +370,11 @@ func TestEvaluateBaselineOnly(t *testing.T) {
 			t.Errorf("combo %s has comparisons %v without scheme runs", cr.Combo.Name, cr.Comparisons)
 		}
 	}
-	if fig := ev.Figure(metrics.MetricThroughput); len(fig.Schemes) != 0 {
+	fig, err := ev.Figure(metrics.MetricThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Schemes) != 0 {
 		t.Errorf("baseline-only figure lists schemes %v", fig.Schemes)
 	}
 }

@@ -77,6 +77,41 @@ func WriteCombos(w io.Writer, ev *experiments.Evaluation) error {
 	return writeAligned(w, rows)
 }
 
+// WriteScaling renders a scaling-study series as an aligned table: one row
+// per core count, one column per scheme, each cell the cross-class average
+// at that width.
+func WriteScaling(w io.Writer, title string, s experiments.ScalingSeries) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	rows := [][]string{append([]string{"cores"}, s.Schemes...)}
+	for i, n := range s.Cores {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, scheme := range s.Schemes {
+			row = append(row, fmt.Sprintf("%.3f", s.Values[scheme][i]))
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+// WriteScalingCSV renders the same dataset as CSV.
+func WriteScalingCSV(w io.Writer, s experiments.ScalingSeries) error {
+	if _, err := fmt.Fprintf(w, "cores,%s\n", strings.Join(s.Schemes, ",")); err != nil {
+		return err
+	}
+	for i, n := range s.Cores {
+		vals := make([]string, len(s.Schemes))
+		for j, scheme := range s.Schemes {
+			vals[j] = fmt.Sprintf("%.4f", s.Values[scheme][i])
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s\n", n, strings.Join(vals, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteCharacterization renders a Figures 1–3 dataset: bucket shares
 // averaged over windows of sampling intervals (10 windows), ending with the
 // whole-run mean — a textual rendering of the stacked-area figures.

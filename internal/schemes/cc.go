@@ -32,11 +32,12 @@ type CC struct {
 	retrievalHit int64
 }
 
-// NewCC builds cooperative caching with cfg.CC.SpillPercent.
-func NewCC(cfg config.System) *CC {
+// NewCC builds cooperative caching spilling clean victims with probability
+// spillPct percent (the spec parameter of "CC(75%)").
+func NewCC(cfg config.System, spillPct int) *CC {
 	c := &CC{
 		h:        NewHierarchy(cfg),
-		spillPct: cfg.CC.SpillPercent,
+		spillPct: spillPct,
 		rng:      stats.NewRNG(cfg.Seed ^ 0xcc),
 		nextHost: make([]int, cfg.Cores),
 	}

@@ -111,8 +111,7 @@ func TestL2SSharedCapacity(t *testing.T) {
 
 func TestCCSpillAndRetrieve(t *testing.T) {
 	cfg := testCfg()
-	cfg.CC.SpillPercent = 100
-	c := NewCC(cfg)
+	c := NewCC(cfg, 100)
 	g := geomOf(cfg)
 	ways := cfg.Mem.L2Slice.Ways
 	addrs := make([]addr.Addr, ways+2)
@@ -139,8 +138,7 @@ func TestCCSpillAndRetrieve(t *testing.T) {
 
 func TestCCZeroProbabilityNeverSpills(t *testing.T) {
 	cfg := testCfg()
-	cfg.CC.SpillPercent = 0
-	c := NewCC(cfg)
+	c := NewCC(cfg, 0)
 	g := geomOf(cfg)
 	for i := 0; i < 4*cfg.Mem.L2Slice.Ways; i++ {
 		c.Access(0, 100, addr.ForCore(0, g.Rebuild(uint64(i+1), 2)), false)
@@ -151,9 +149,7 @@ func TestCCZeroProbabilityNeverSpills(t *testing.T) {
 }
 
 func TestCCName(t *testing.T) {
-	cfg := testCfg()
-	cfg.CC.SpillPercent = 75
-	if got := NewCC(cfg).Name(); got != "CC(75%)" {
+	if got := NewCC(testCfg(), 75).Name(); got != "CC(75%)" {
 		t.Fatalf("Name = %q", got)
 	}
 }

@@ -1,22 +1,52 @@
-// Package workloads encodes the paper's evaluation matrix: the Table 6
+// Package workloads encodes the paper's evaluation matrix — the Table 6
 // benchmark classification, the Table 7 workload-combination classes C1–C6,
-// and the 21 concrete quad-core combinations of Table 8.
+// and the 21 concrete quad-core combinations of Table 8 — plus the
+// class-consistent scale-out composer that widens the matrix to 8-, 16- or
+// any 4·k-core combinations for the scaling study.
 package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"snug/internal/trace"
 )
 
-// Combo is one quad-core workload combination.
+// Combo is one workload combination: one benchmark per core.
 type Combo struct {
 	Class string   // "C1".."C6"
 	Name  string   // short identifier, e.g. "4xammp" or "ammp+parser+bzip2+mcf"
-	Cores []string // benchmark per core, length 4
+	Cores []string // benchmark per core
 }
 
-// Table8 returns the paper's 21 workload combinations grouped by class.
+// Width returns the combo's core count.
+func (c Combo) Width() int { return len(c.Cores) }
+
+// ComboName derives a combo's canonical name from its per-core benchmark
+// list: runs of identical consecutive benchmarks compress to "NxBench", and
+// runs join with "+". The quad-core Table 8 names ("4xammp",
+// "ammp+parser+bzip2+mcf") are unchanged by this rule; wider combos get
+// names like "8xammp" and "2xammp+2xparser+2xbzip2+2xmcf". These names key
+// checkpoint stores, so the rule must stay stable across releases.
+func ComboName(cores []string) string {
+	var parts []string
+	for i := 0; i < len(cores); {
+		j := i
+		for j < len(cores) && cores[j] == cores[i] {
+			j++
+		}
+		if n := j - i; n > 1 {
+			parts = append(parts, fmt.Sprintf("%dx%s", n, cores[i]))
+		} else {
+			parts = append(parts, cores[i])
+		}
+		i = j
+	}
+	return strings.Join(parts, "+")
+}
+
+// Table8 returns the paper's 21 quad-core workload combinations grouped by
+// class.
 //
 // C1/C2 are stress tests: four identical applications with capacity sharing
 // but no data sharing (each instance gets a disjoint address space, which
@@ -25,13 +55,7 @@ type Combo struct {
 // that is its typo for vortex.
 func Table8() []Combo {
 	mk := func(class string, cores ...string) Combo {
-		name := cores[0]
-		if cores[0] == cores[1] && cores[1] == cores[2] && cores[2] == cores[3] {
-			name = "4x" + cores[0]
-		} else {
-			name = cores[0] + "+" + cores[1] + "+" + cores[2] + "+" + cores[3]
-		}
-		return Combo{Class: class, Name: name, Cores: cores}
+		return Combo{Class: class, Name: ComboName(cores), Cores: cores}
 	}
 	return []Combo{
 		// C1: stress tests from class A.
@@ -64,6 +88,33 @@ func Table8() []Combo {
 	}
 }
 
+// ScaleOut widens the Table 8 matrix to width cores while preserving each
+// combination's Table 7 class composition: every quad-core member benchmark
+// is replicated width/4 times, so a C4 combo (2×A + 1×B + 1×C) becomes
+// 4×A + 2×B + 2×C at 8 cores and 8×A + 4×B + 4×C at 16. Replicas stay
+// contiguous, and internal/addr gives every instance a disjoint address
+// space, so widening adds capacity pressure without data sharing — the
+// paper's stress-test methodology at scale. width must be a positive
+// multiple of 4; ScaleOut(4) is exactly Table8().
+func ScaleOut(width int) ([]Combo, error) {
+	if width <= 0 || width%4 != 0 {
+		return nil, fmt.Errorf("workloads: scale-out width %d is not a positive multiple of 4", width)
+	}
+	rep := width / 4
+	base := Table8()
+	out := make([]Combo, len(base))
+	for i, combo := range base {
+		cores := make([]string, 0, width)
+		for _, b := range combo.Cores {
+			for r := 0; r < rep; r++ {
+				cores = append(cores, b)
+			}
+		}
+		out[i] = Combo{Class: combo.Class, Name: ComboName(cores), Cores: cores}
+	}
+	return out, nil
+}
+
 // Classes returns the class labels in order.
 func Classes() []string { return []string{"C1", "C2", "C3", "C4", "C5", "C6"} }
 
@@ -76,14 +127,35 @@ func ByClass() map[string][]Combo {
 	return m
 }
 
+// classComposition is the Table 7 class recipe at quad-core width.
+var classComposition = map[string]map[trace.Class]int{
+	"C1": {trace.ClassA: 4},
+	"C2": {trace.ClassC: 4},
+	"C3": {trace.ClassA: 2, trace.ClassC: 2},
+	"C4": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassC: 1},
+	"C5": {trace.ClassA: 2, trace.ClassD: 2},
+	"C6": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassD: 1},
+}
+
 // Validate cross-checks Table 8 against the Table 6 classification embedded
-// in the benchmark models: stress-test classes use the right benchmark
-// class, and every mixed class has two class A members plus the B/C/D
-// members Table 7 prescribes.
-func Validate() error {
-	for _, combo := range Table8() {
-		if len(combo.Cores) != 4 {
-			return fmt.Errorf("workloads: combo %s has %d cores, want 4", combo.Name, len(combo.Cores))
+// in the benchmark models.
+func Validate() error { return ValidateCombos(Table8(), 4) }
+
+// ValidateCombos checks a combination list of arbitrary width against the
+// Table 7 class rules scaled to that width: every combo has exactly width
+// cores, its name matches the canonical ComboName, and its per-class member
+// counts are the quad-core composition multiplied by width/4.
+func ValidateCombos(combos []Combo, width int) error {
+	if width <= 0 || width%4 != 0 {
+		return fmt.Errorf("workloads: width %d is not a positive multiple of 4", width)
+	}
+	rep := width / 4
+	for _, combo := range combos {
+		if len(combo.Cores) != width {
+			return fmt.Errorf("workloads: combo %s has %d cores, want %d", combo.Name, len(combo.Cores), width)
+		}
+		if want := ComboName(combo.Cores); combo.Name != want {
+			return fmt.Errorf("workloads: combo %s has non-canonical name (want %s)", combo.Name, want)
 		}
 		counts := map[trace.Class]int{}
 		for _, b := range combo.Cores {
@@ -93,22 +165,21 @@ func Validate() error {
 			}
 			counts[p.Class]++
 		}
-		want := map[string]map[trace.Class]int{
-			"C1": {trace.ClassA: 4},
-			"C2": {trace.ClassC: 4},
-			"C3": {trace.ClassA: 2, trace.ClassC: 2},
-			"C4": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassC: 1},
-			"C5": {trace.ClassA: 2, trace.ClassD: 2},
-			"C6": {trace.ClassA: 2, trace.ClassB: 1, trace.ClassD: 1},
-		}[combo.Class]
+		want := classComposition[combo.Class]
 		if want == nil {
 			return fmt.Errorf("workloads: combo %s has unknown class %s", combo.Name, combo.Class)
 		}
+		total := 0
 		for cls, n := range want {
-			if counts[cls] != n {
+			if counts[cls] != n*rep {
 				return fmt.Errorf("workloads: combo %s (%s) has %d class-%s members, want %d",
-					combo.Name, combo.Class, counts[cls], cls, n)
+					combo.Name, combo.Class, counts[cls], cls, n*rep)
 			}
+			total += n * rep
+		}
+		if total != width {
+			return fmt.Errorf("workloads: combo %s (%s) class composition covers %d of %d cores",
+				combo.Name, combo.Class, total, width)
 		}
 	}
 	return nil
