@@ -8,6 +8,7 @@
 //	experiments                         # all classes, all three figures
 //	experiments -classes C1,C5          # subset
 //	experiments -cycles 4000000 -par 4  # longer runs, fixed worker count
+//	experiments -reps 5                 # replicated runs, mean ±95% CI cells
 //	experiments -cores 8                # the figures on the 8-core system
 //	experiments -scaling -cores 4,8,16  # per-scheme scaling study
 //	experiments -out sweep.json         # checkpoint completed runs
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	cycles := fs.Int64("cycles", 2_000_000, "cycles per simulation")
 	par := fs.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	reps := fs.Int("reps", 1, "independently-seeded replicates per run; >1 reports mean ±95% CI")
 	classes := fs.String("classes", "", "comma-separated class subset (C1..C6); empty = all")
 	schemes := fs.String("schemes", "", "comma-separated scheme subset (L2S,CC,DSR,SNUG); empty = all; L2P always runs")
 	cores := fs.String("cores", "4", "core count for the figures, or a comma-separated list for -scaling (e.g. 4,8,16)")
@@ -82,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *fullScale {
 		cfg = config.Scaled(50)
 	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d: replicate count must be at least 1", *reps)
+	}
 	coreCounts, err := parseCores(*cores)
 	if err != nil {
 		return err
@@ -90,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *ablation {
 		if len(coreCounts) != 1 {
 			return fmt.Errorf("the ablation runs at one core count (got -cores %s)", *cores)
+		}
+		if *reps > 1 {
+			return fmt.Errorf("the ablation does not support -reps yet; drop the flag for its single-seed comparison")
 		}
 		cfg, err := config.WithCores(cfg, coreCounts[0])
 		if err != nil {
@@ -126,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runScaling(stdout, experiments.ScalingOptions{
 			BaseCfg: cfg, CoreCounts: coreCounts, RunCycles: *cycles,
 			Parallelism: *par, Classes: cls, Schemes: sch,
-			Checkpoint: *out, Progress: progress,
+			Checkpoint: *out, Progress: progress, Replicates: *reps,
 		}, *csvDir)
 	}
 
@@ -139,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	ev, err := experiments.Evaluate(experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
-		Schemes: sch, Checkpoint: *out, Progress: progress,
+		Schemes: sch, Checkpoint: *out, Progress: progress, Replicates: *reps,
 	})
 	if err != nil {
 		return err

@@ -84,3 +84,26 @@ func TestRunFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFiguresReps: -reps N produces interval-qualified tables; -reps 0
+// is rejected.
+func TestRunFiguresReps(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-classes", "C1", "-schemes", "SNUG", "-cycles", "60000", "-reps", "2", "-quiet",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"±95% CI over 2 replicates", "±"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run([]string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
+		t.Error("-reps 0 accepted")
+	}
+	if err := run([]string{"-ablation", "-reps", "2"}, io.Discard, io.Discard); err == nil {
+		t.Error("-ablation silently accepted -reps (no replication support there)")
+	}
+}

@@ -13,6 +13,7 @@
 //
 //	snugsim -scheme SNUG -workload ammp,parser,swim,mesa -cycles 2000000
 //	snugsim -scheme L2P,CC(75%),SNUG -workload 4xammp  # paired comparison
+//	snugsim -scheme L2P,SNUG -workload 4xammp -reps 5  # mean ±95% CI
 //	snugsim -scheme SNUG -workload 8xammp              # 8-core scale-out
 //	snugsim -list
 package main
@@ -28,6 +29,7 @@ import (
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/stats"
 	"snug/internal/sweep"
 	"snug/internal/trace"
 	"snug/internal/workloads"
@@ -56,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cycles := fs.Int64("cycles", 5_000_000, "cycles to simulate")
 	ccpct := fs.Int("ccpct", 100, "spill probability for bare \"CC\" specs, in percent (0,25,50,75,100)")
 	par := fs.Int("par", 0, "concurrent simulations when comparing schemes (0 = GOMAXPROCS)")
+	reps := fs.Int("reps", 1, "independently-seeded replicates per scheme; >1 reports mean ±95% CI")
 	scale := fs.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
 	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
 	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
@@ -76,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d: replicate count must be at least 1", *reps)
+	}
 	cfg := config.Default()
 	if *scale {
 		cfg = config.TestScale()
@@ -111,9 +117,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 			},
 		})
 	}
-	results, err := sweep.Run(sweep.Options{Parallelism: *par, BaseSeed: cfg.Seed}, jobs)
+	results, err := sweep.Run(sweep.Options{Parallelism: *par, BaseSeed: cfg.Seed, Replicates: *reps}, jobs)
 	if err != nil {
 		return err
+	}
+
+	if *reps > 1 {
+		// Replicated runs summarize to interval statistics: per-core detail
+		// of a single stream would misrepresent the sample.
+		fmt.Fprintf(stdout, "workload=%s cores=%d cycles=%d reps=%d (mean ±95%% CI)\n",
+			*workload, len(bench), *cycles, *reps)
+		puts := make(map[string][]float64, len(specs))
+		for _, s := range specs {
+			puts[s] = make([]float64, *reps)
+			var spills, retrHits int64
+			for r := 0; r < *reps; r++ {
+				res := results[sweep.ReplicateKey(s, r)]
+				puts[s][r] = res.Throughput()
+				spills += res.Report.Spills
+				retrHits += res.Report.RetrievalHits
+			}
+			n := float64(*reps)
+			fmt.Fprintf(stdout, "  %-9s throughput=%s avgSpills=%.1f avgRetrHits=%.1f\n",
+				s, stats.MeanCI(puts[s]), float64(spills)/n, float64(retrHits)/n)
+		}
+		// Schemes share streams within each replicate, so the per-replicate
+		// throughput deltas against the first scheme cancel the common
+		// stream noise — usually a far tighter interval than the marginals.
+		for _, s := range specs[1:] {
+			delta, err := stats.PairedDelta(puts[s], puts[specs[0]])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  Δ %s vs %s: %s (paired)\n", s, specs[0], delta)
+		}
+		return nil
 	}
 
 	if len(specs) > 1 {

@@ -121,3 +121,21 @@ func TestRunFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunReplicates: -reps N summarizes each scheme as mean ±95% CI over
+// independently-seeded replicates; -reps 0 is rejected.
+func TestRunReplicates(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scheme", "L2P,SNUG", "-workload", "4xgzip", "-cycles", "50000", "-reps", "3"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reps=3", "mean ±95% CI", "L2P", "SNUG", "±", "avgSpills=", "Δ SNUG vs L2P:", "(paired)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run([]string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
+		t.Error("-reps 0 accepted")
+	}
+}

@@ -16,13 +16,13 @@ import (
 // A_threshold = 2×A_baseline = 32 LRU positions per set, over 1000 sampling
 // intervals of 100 K L2 accesses each, bucketed into M = 8 demand ranges.
 type CharacterizeOptions struct {
-	Benchmark          string
-	Cfg                config.System
-	AThreshold         int // 0 = 2× L2 ways
-	Buckets            int // M; 0 = 8
-	Intervals          int // 0 = 1000
+	Benchmark           string
+	Cfg                 config.System
+	AThreshold          int   // 0 = 2× L2 ways
+	Buckets             int   // M; 0 = 8
+	Intervals           int   // 0 = 1000
 	AccessesPerInterval int64 // L2 accesses per interval; 0 = 100_000
-	Seed               uint64
+	Seed                uint64
 }
 
 // normalize fills defaults.

@@ -50,22 +50,59 @@ type Options struct {
 	Checkpoint string
 	// Progress, when set, receives a snapshot after each completed run.
 	Progress func(sweep.Progress)
+	// Replicates runs every (combo, scheme) cell this many times with
+	// independent instruction streams (0 and 1 both mean one run, today's
+	// exact output and checkpoint keys). Schemes stay paired within each
+	// replicate, and the figures report mean ± 95% CI across replicates.
+	Replicates int
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
-// baseline, every scheme's run, and the Table 5 comparisons.
+// baseline, every scheme's run, and the Table 5 comparisons. Baseline,
+// Runs, CCBestPct and Comparisons describe replicate 0 (the only replicate
+// of a single-run evaluation); the per-replicate comparisons behind the
+// figures' confidence intervals live in RepComparisons.
 type ComboResult struct {
 	Combo       workloads.Combo
 	Baseline    cmp.RunResult
 	Runs        map[string]cmp.RunResult      // keyed by scheme spec label
 	CCBestPct   int                           // spill probability behind CC(Best)
 	Comparisons map[string]metrics.Comparison // keyed by FigureSchemes labels
+
+	// RepComparisons holds every replicate's Table 5 comparisons;
+	// RepComparisons[0] equals Comparisons. Empty on hand-built fixtures,
+	// which Figure treats as a single replicate described by Comparisons.
+	RepComparisons []map[string]metrics.Comparison
+	// RepCCBestPct is each replicate's CC(Best) selection — chosen per
+	// replicate by throughput, since the best spill probability can differ
+	// across instruction streams.
+	RepCCBestPct []int
+}
+
+// replicates returns the replicate count the combo carries data for.
+func (cr *ComboResult) replicates() int {
+	if len(cr.RepComparisons) > 0 {
+		return len(cr.RepComparisons)
+	}
+	return 1
+}
+
+// repComps returns replicate r's comparisons; fixtures without replicate
+// data serve replicate 0 from the legacy Comparisons field.
+func (cr *ComboResult) repComps(r int) map[string]metrics.Comparison {
+	if len(cr.RepComparisons) > 0 {
+		return cr.RepComparisons[r]
+	}
+	return cr.Comparisons
 }
 
 // Evaluation is the full Figures 9–11 dataset.
 type Evaluation struct {
 	Options Options
 	Combos  []ComboResult
+	// Replicates is the effective replicate count behind every combo
+	// (max(1, Options.Replicates)).
+	Replicates int
 }
 
 // evalSchemes are the non-baseline scheme families the full matrix
@@ -125,18 +162,28 @@ func specsFor(selected []string) []schemes.Spec {
 	return specs
 }
 
+// fingerprintVersion tags checkpoint fingerprints with the results-schema
+// generation. Bump it when a release changes what any job computes (a
+// simulator or metrics change that alters stored results), so stale stores
+// are refused on resume instead of silently mixed with fresh runs.
+const fingerprintVersion = 1
+
 // fingerprint identifies everything that changes a run's result — the
-// system configuration (which embeds the base seed) and the run length —
-// so a checkpoint store refuses to mix results across configurations.
-// Classes and Schemes are deliberately excluded: they select which jobs
-// run, not what any job computes, so a store warmed by a subset sweep is
-// reusable by a wider one.
-func fingerprint(opt Options) (string, error) {
+// results-schema version, the system configuration (which embeds the base
+// seed) and the run length — so a checkpoint store refuses to mix results
+// across configurations or releases. Classes, Schemes and Replicates are
+// deliberately excluded: they select which jobs run, not what any job
+// computes (replicates only add keys), so a store warmed by a subset sweep
+// is reusable by a wider or replicated one. The second return lists
+// fingerprints of older releases whose results are still valid (the
+// pre-version-token format; v1 changed no results), accepted on resume.
+func fingerprint(opt Options) (fp string, legacy []string, err error) {
 	h, err := cfgHash(opt.Cfg)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return fmt.Sprintf("evaluate/cycles=%d/cfg=%s", opt.RunCycles, h), nil
+	return fmt.Sprintf("evaluate/v%d/cycles=%d/cfg=%s", fingerprintVersion, opt.RunCycles, h),
+		[]string{fmt.Sprintf("evaluate/cycles=%d/cfg=%s", opt.RunCycles, h)}, nil
 }
 
 // cfgHash hashes a system configuration for fingerprinting.
@@ -174,15 +221,40 @@ func comboJobs(jobs []sweep.Job, cfg config.System, combo workloads.Combo, specs
 }
 
 // collect fills the combo's runs from the sweep results and finalizes the
-// comparisons for the selected scheme families.
-func (cr *ComboResult) collect(results map[string]cmp.RunResult, selected []string) error {
-	cr.Baseline = results[jobKey(cr.Combo.Name, baselineSpec.String())]
-	for key, res := range results {
-		if combo, label, ok := strings.Cut(key, "/"); ok && combo == cr.Combo.Name {
-			cr.Runs[label] = res
+// comparisons for the selected scheme families, once per replicate.
+// Replicate 0 also populates the legacy Baseline/Runs/CCBestPct/Comparisons
+// fields, so single-replicate consumers are untouched.
+func (cr *ComboResult) collect(results map[string]cmp.RunResult, selected []string, reps int) error {
+	cr.RepComparisons = make([]map[string]metrics.Comparison, reps)
+	cr.RepCCBestPct = make([]int, reps)
+	for r := 0; r < reps; r++ {
+		runs := make(map[string]cmp.RunResult)
+		for key, res := range results {
+			base, rep := sweep.SplitReplicateKey(key)
+			if rep != r {
+				continue
+			}
+			if combo, label, ok := strings.Cut(base, "/"); ok && combo == cr.Combo.Name {
+				runs[label] = res
+			}
+		}
+		pct, comps, err := finalize(cr.Combo.Name, runs, selected)
+		if err != nil {
+			if r > 0 {
+				return fmt.Errorf("replicate %d: %w", r, err)
+			}
+			return err
+		}
+		cr.RepCCBestPct[r] = pct
+		cr.RepComparisons[r] = comps
+		if r == 0 {
+			cr.Baseline = runs[baselineSpec.String()]
+			cr.Runs = runs
+			cr.CCBestPct = pct
+			cr.Comparisons = comps
 		}
 	}
-	return cr.finalize(selected)
+	return nil
 }
 
 // Evaluate runs the evaluation matrix through the sweep engine: for every
@@ -208,46 +280,52 @@ func Evaluate(opt Options) (*Evaluation, error) {
 		return nil, err
 	}
 	specs := specsFor(selected)
+	reps := opt.Replicates
+	if reps < 1 {
+		reps = 1
+	}
 
-	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos))}
+	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos)), Replicates: reps}
 	var jobs []sweep.Job
 	for i, combo := range combos {
-		ev.Combos[i] = ComboResult{
-			Combo:       combo,
-			Runs:        make(map[string]cmp.RunResult),
-			Comparisons: make(map[string]metrics.Comparison),
-		}
+		ev.Combos[i] = ComboResult{Combo: combo}
 		jobs = comboJobs(jobs, opt.Cfg, combo, specs, opt.RunCycles)
 	}
 
-	fp, err := fingerprint(opt)
+	fp, legacy, err := fingerprint(opt)
 	if err != nil {
 		return nil, err
 	}
 	results, err := sweep.Run(sweep.Options{
-		Parallelism: opt.Parallelism,
-		BaseSeed:    opt.Cfg.Seed,
-		Checkpoint:  opt.Checkpoint,
-		Fingerprint: fp,
-		OnProgress:  opt.Progress,
+		Parallelism:        opt.Parallelism,
+		BaseSeed:           opt.Cfg.Seed,
+		Checkpoint:         opt.Checkpoint,
+		Fingerprint:        fp,
+		AcceptFingerprints: legacy,
+		Replicates:         reps,
+		OnProgress:         opt.Progress,
 	}, jobs)
 	if err != nil {
 		return nil, evalErr(err)
 	}
 
 	for i := range ev.Combos {
-		if err := ev.Combos[i].collect(results, selected); err != nil {
+		if err := ev.Combos[i].collect(results, selected, reps); err != nil {
 			return nil, err
 		}
 	}
 	return ev, nil
 }
 
-// evalErr renders a sweep failure with combo + run context.
+// evalErr renders a sweep failure with combo + run (+ replicate) context.
 func evalErr(err error) error {
 	var je *sweep.JobError
 	if errors.As(err, &je) {
-		if combo, label, ok := strings.Cut(je.Key, "/"); ok {
+		base, rep := sweep.SplitReplicateKey(je.Key)
+		if combo, label, ok := strings.Cut(base, "/"); ok {
+			if rep > 0 {
+				return fmt.Errorf("experiments: combo %s, run %s, replicate %d: %w", combo, label, rep, je.Err)
+			}
 			return fmt.Errorf("experiments: combo %s, run %s: %w", combo, label, je.Err)
 		}
 	}
@@ -255,28 +333,31 @@ func evalErr(err error) error {
 }
 
 // finalize selects CC(Best) and computes the Table 5 comparisons for the
-// schemes that ran.
-func (cr *ComboResult) finalize(selected []string) error {
+// schemes that ran, from one replicate's runs (which it extends with the
+// derived "CC(Best)" entry).
+func finalize(combo string, runs map[string]cmp.RunResult, selected []string) (ccBestPct int, comps map[string]metrics.Comparison, err error) {
 	sel := map[string]bool{}
 	for _, s := range selected {
 		sel[s] = true
 	}
-	cr.CCBestPct = -1
+	ccBestPct = -1
 	if sel["CC"] {
 		bestPct, bestTput := -1, 0.0
 		for _, pct := range CCPercents {
-			r, ok := cr.Runs[fmt.Sprintf("CC(%d%%)", pct)]
+			r, ok := runs[fmt.Sprintf("CC(%d%%)", pct)]
 			if !ok {
-				return fmt.Errorf("experiments: combo %s missing CC(%d%%) run", cr.Combo.Name, pct)
+				return 0, nil, fmt.Errorf("experiments: combo %s missing CC(%d%%) run", combo, pct)
 			}
 			if put := r.Throughput(); bestPct < 0 || put > bestTput {
 				bestPct, bestTput = pct, put
 			}
 		}
-		cr.CCBestPct = bestPct
-		cr.Runs["CC(Best)"] = cr.Runs[fmt.Sprintf("CC(%d%%)", bestPct)]
+		ccBestPct = bestPct
+		runs["CC(Best)"] = runs[fmt.Sprintf("CC(%d%%)", bestPct)]
 	}
 
+	baseline := runs[baselineSpec.String()]
+	comps = make(map[string]metrics.Comparison)
 	for _, label := range FigureSchemes {
 		scheme := label
 		if label == "CC(Best)" {
@@ -285,18 +366,18 @@ func (cr *ComboResult) finalize(selected []string) error {
 		if !sel[scheme] {
 			continue
 		}
-		r, ok := cr.Runs[label]
+		r, ok := runs[label]
 		if !ok {
-			return fmt.Errorf("experiments: combo %s missing %s run", cr.Combo.Name, label)
+			return 0, nil, fmt.Errorf("experiments: combo %s missing %s run", combo, label)
 		}
-		comp, err := metrics.Compare(cr.Baseline, r)
+		comp, err := metrics.Compare(baseline, r)
 		if err != nil {
-			return fmt.Errorf("experiments: combo %s: %w", cr.Combo.Name, err)
+			return 0, nil, fmt.Errorf("experiments: combo %s: %w", combo, err)
 		}
 		comp.Scheme = label
-		cr.Comparisons[label] = comp
+		comps[label] = comp
 	}
-	return nil
+	return ccBestPct, comps, nil
 }
 
 // selectCombos filters the width-core scale-out matrix by class labels.
@@ -326,30 +407,64 @@ func selectCombos(classes []string, width int) ([]workloads.Combo, error) {
 }
 
 // ClassSeries is one figure's dataset: per class (plus AVG), per scheme,
-// the geometric-mean metric value.
+// the geometric-mean metric value — averaged across replicates, with a
+// Student-t 95% confidence interval when the evaluation was replicated.
 type ClassSeries struct {
 	Metric  metrics.MetricKind
 	Schemes []string             // column labels present, in FigureSchemes order
 	Classes []string             // row labels: C1..C6, AVG
-	Values  map[string][]float64 // scheme label -> value per row
+	Values  map[string][]float64 // scheme label -> mean value per row
+	// CI is each Values cell's 95% confidence half-width across replicates,
+	// keyed and indexed like Values. It is nil for single-replicate
+	// evaluations, whose Values are point estimates with no spread
+	// information.
+	CI map[string][]float64
+	// Replicates is the replicate count behind every cell (1 when CI is nil).
+	Replicates int
+}
+
+// Cell returns row i of the scheme's series as a mean-with-interval.
+func (cs ClassSeries) Cell(scheme string, i int) stats.Interval {
+	iv := stats.Interval{Mean: cs.Values[scheme][i], N: cs.Replicates}
+	if cs.CI != nil {
+		iv.Half = cs.CI[scheme][i]
+	}
+	if iv.N < 1 {
+		iv.N = 1
+	}
+	return iv
 }
 
 // Figure computes the Figure 9/10/11 dataset for the chosen metric. Only
 // schemes the evaluation actually ran appear (see Options.Schemes); a
 // scheme must be present in every combo — ragged data (a scheme missing
 // from some combos, e.g. a partial or filtered run) is an error rather than
-// a silently dropped or skewed series.
+// a silently dropped or skewed series. With Replicates > 1 each cell is the
+// mean of the per-replicate class values, qualified by its 95% CI.
 func (ev *Evaluation) Figure(metric metrics.MetricKind) (ClassSeries, error) {
 	classes := presentClasses(ev.Combos)
+	reps := ev.Replicates
+	if reps < 1 {
+		reps = 1
+	}
 	cs := ClassSeries{
-		Metric:  metric,
-		Classes: append(append([]string{}, classes...), "AVG"),
-		Values:  make(map[string][]float64),
+		Metric:     metric,
+		Classes:    append(append([]string{}, classes...), "AVG"),
+		Values:     make(map[string][]float64),
+		Replicates: reps,
+	}
+	if reps > 1 {
+		cs.CI = make(map[string][]float64)
 	}
 	for _, scheme := range FigureSchemes {
 		present := 0
 		for _, cr := range ev.Combos {
-			if _, ok := cr.Comparisons[scheme]; ok {
+			if cr.replicates() != reps {
+				return ClassSeries{}, fmt.Errorf(
+					"experiments: combo %s carries %d replicates, evaluation has %d",
+					cr.Combo.Name, cr.replicates(), reps)
+			}
+			if _, ok := cr.repComps(0)[scheme]; ok {
 				present++
 			}
 		}
@@ -362,21 +477,39 @@ func (ev *Evaluation) Figure(metric metrics.MetricKind) (ClassSeries, error) {
 				scheme, present, len(ev.Combos))
 		}
 		cs.Schemes = append(cs.Schemes, scheme)
-		var rows []float64
-		var all []float64
-		for _, class := range classes {
-			var comps []metrics.Comparison
-			for _, cr := range ev.Combos {
-				if cr.Combo.Class == class {
-					comps = append(comps, cr.Comparisons[scheme])
-				}
-			}
-			v := metrics.ClassMean(metric, comps)
-			rows = append(rows, v)
-			all = append(all, v)
+		// perRep[r] accumulates replicate r's class-row values so the AVG
+		// row can be the geometric mean within each replicate before the
+		// mean ± CI is taken across replicates.
+		perRep := make([][]float64, reps)
+		var rows, halfs []float64
+		cell := func(vals []float64) {
+			iv := stats.MeanCI(vals)
+			rows = append(rows, iv.Mean)
+			halfs = append(halfs, iv.Half)
 		}
-		rows = append(rows, stats.GeoMean(all))
+		for _, class := range classes {
+			vals := make([]float64, reps)
+			for r := 0; r < reps; r++ {
+				var comps []metrics.Comparison
+				for _, cr := range ev.Combos {
+					if cr.Combo.Class == class {
+						comps = append(comps, cr.repComps(r)[scheme])
+					}
+				}
+				vals[r] = metrics.ClassMean(metric, comps)
+				perRep[r] = append(perRep[r], vals[r])
+			}
+			cell(vals)
+		}
+		avg := make([]float64, reps)
+		for r := 0; r < reps; r++ {
+			avg[r] = stats.GeoMean(perRep[r])
+		}
+		cell(avg)
 		cs.Values[scheme] = rows
+		if cs.CI != nil {
+			cs.CI[scheme] = halfs
+		}
 	}
 	return cs, nil
 }

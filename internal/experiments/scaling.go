@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"slices"
 
-	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/metrics"
+	"snug/internal/stats"
 	"snug/internal/sweep"
 )
 
@@ -28,6 +28,10 @@ type ScalingOptions struct {
 	// counts extends to more.
 	Checkpoint string
 	Progress   func(sweep.Progress)
+	// Replicates has the same semantics as Options.Replicates: every
+	// (width, combo, scheme) cell runs this many independently-seeded
+	// times, and Series reports mean ± 95% CI per width.
+	Replicates int
 }
 
 // ScalingPoint is the evaluation at one core count.
@@ -41,6 +45,9 @@ type ScalingPoint struct {
 type ScalingResult struct {
 	Options ScalingOptions
 	Points  []ScalingPoint
+	// Replicates is the effective replicate count behind every point
+	// (max(1, Options.Replicates)).
+	Replicates int
 }
 
 // scalingFingerprint identifies the study's result-changing inputs: the
@@ -48,12 +55,15 @@ type ScalingResult struct {
 // excluded for the same reason Evaluate excludes Classes/Schemes — they
 // select which jobs run, not what a job computes — so a store warmed with
 // {4,8} serves a later {4,8,16} study.
-func scalingFingerprint(opt ScalingOptions) (string, error) {
+// Like fingerprint, it also returns the accepted-on-resume fingerprints of
+// older releases whose results remain valid.
+func scalingFingerprint(opt ScalingOptions) (fp string, legacy []string, err error) {
 	h, err := cfgHash(opt.BaseCfg)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return fmt.Sprintf("scaling/cycles=%d/cfg=%s", opt.RunCycles, h), nil
+	return fmt.Sprintf("scaling/v%d/cycles=%d/cfg=%s", fingerprintVersion, opt.RunCycles, h),
+		[]string{fmt.Sprintf("scaling/cycles=%d/cfg=%s", opt.RunCycles, h)}, nil
 }
 
 // ScalingStudy evaluates every selected scheme across core counts: for each
@@ -78,8 +88,12 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 		return nil, err
 	}
 	specs := specsFor(selected)
+	reps := opt.Replicates
+	if reps < 1 {
+		reps = 1
+	}
 
-	res := &ScalingResult{Options: opt, Points: make([]ScalingPoint, len(opt.CoreCounts))}
+	res := &ScalingResult{Options: opt, Points: make([]ScalingPoint, len(opt.CoreCounts)), Replicates: reps}
 	var jobs []sweep.Job
 	seen := map[int]bool{}
 	for i, n := range opt.CoreCounts {
@@ -100,25 +114,23 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 		}
 		res.Points[i] = ScalingPoint{Cores: n, Cfg: cfg, Combos: make([]ComboResult, len(combos))}
 		for j, combo := range combos {
-			res.Points[i].Combos[j] = ComboResult{
-				Combo:       combo,
-				Runs:        make(map[string]cmp.RunResult),
-				Comparisons: make(map[string]metrics.Comparison),
-			}
+			res.Points[i].Combos[j] = ComboResult{Combo: combo}
 			jobs = comboJobs(jobs, cfg, combo, specs, opt.RunCycles)
 		}
 	}
 
-	fp, err := scalingFingerprint(opt)
+	fp, legacy, err := scalingFingerprint(opt)
 	if err != nil {
 		return nil, err
 	}
 	results, err := sweep.Run(sweep.Options{
-		Parallelism: opt.Parallelism,
-		BaseSeed:    opt.BaseCfg.Seed,
-		Checkpoint:  opt.Checkpoint,
-		Fingerprint: fp,
-		OnProgress:  opt.Progress,
+		Parallelism:        opt.Parallelism,
+		BaseSeed:           opt.BaseCfg.Seed,
+		Checkpoint:         opt.Checkpoint,
+		Fingerprint:        fp,
+		AcceptFingerprints: legacy,
+		Replicates:         reps,
+		OnProgress:         opt.Progress,
 	}, jobs)
 	if err != nil {
 		return nil, evalErr(err)
@@ -126,7 +138,7 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 
 	for i := range res.Points {
 		for j := range res.Points[i].Combos {
-			if err := res.Points[i].Combos[j].collect(results, selected); err != nil {
+			if err := res.Points[i].Combos[j].collect(results, selected, reps); err != nil {
 				return nil, err
 			}
 		}
@@ -135,20 +147,45 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 }
 
 // ScalingSeries is one metric's scaling table: per core count, per scheme,
-// the cross-class average (the figures' AVG row) at that width.
+// the cross-class average (the figures' AVG row) at that width — averaged
+// across replicates, with 95% confidence half-widths when replicated.
 type ScalingSeries struct {
 	Metric  metrics.MetricKind
 	Schemes []string             // column labels present, in FigureSchemes order
 	Cores   []int                // row labels
-	Values  map[string][]float64 // scheme label -> value per core count
+	Values  map[string][]float64 // scheme label -> mean value per core count
+	// CI mirrors Values with each cell's 95% confidence half-width; nil for
+	// single-replicate studies.
+	CI map[string][]float64
+	// Replicates is the replicate count behind every cell (1 when CI is nil).
+	Replicates int
+}
+
+// Cell returns row i of the scheme's series as a mean-with-interval.
+func (s ScalingSeries) Cell(scheme string, i int) stats.Interval {
+	iv := stats.Interval{Mean: s.Values[scheme][i], N: s.Replicates}
+	if s.CI != nil {
+		iv.Half = s.CI[scheme][i]
+	}
+	if iv.N < 1 {
+		iv.N = 1
+	}
+	return iv
 }
 
 // Series computes the scaling table for the chosen metric. Every point must
 // expose the same scheme set; ragged data across points is an error.
 func (r *ScalingResult) Series(metric metrics.MetricKind) (ScalingSeries, error) {
-	s := ScalingSeries{Metric: metric, Values: make(map[string][]float64)}
+	reps := r.Replicates
+	if reps < 1 {
+		reps = 1
+	}
+	s := ScalingSeries{Metric: metric, Values: make(map[string][]float64), Replicates: reps}
+	if reps > 1 {
+		s.CI = make(map[string][]float64)
+	}
 	for i, p := range r.Points {
-		ev := Evaluation{Combos: p.Combos}
+		ev := Evaluation{Combos: p.Combos, Replicates: reps}
 		cs, err := ev.Figure(metric)
 		if err != nil {
 			return ScalingSeries{}, fmt.Errorf("at %d cores: %w", p.Cores, err)
@@ -164,6 +201,9 @@ func (r *ScalingResult) Series(metric metrics.MetricKind) (ScalingSeries, error)
 		avgRow := len(cs.Classes) - 1 // the AVG row
 		for _, scheme := range cs.Schemes {
 			s.Values[scheme] = append(s.Values[scheme], cs.Values[scheme][avgRow])
+			if s.CI != nil {
+				s.CI[scheme] = append(s.CI[scheme], cs.CI[scheme][avgRow])
+			}
 		}
 	}
 	return s, nil

@@ -12,9 +12,9 @@ import (
 
 // DRAMStats aggregates memory-controller activity.
 type DRAMStats struct {
-	Reads       int64
-	Writes      int64
-	BankBusy    int64 // cycles added by bank conflicts (0 with Banks <= 1)
+	Reads    int64
+	Writes   int64
+	BankBusy int64 // cycles added by bank conflicts (0 with Banks <= 1)
 }
 
 // DRAM is the off-chip memory model. With Banks == 0 (or 1) it is the

@@ -82,15 +82,19 @@ func (m MetricKind) String() string {
 	}
 }
 
-// Value extracts the selected metric from a comparison.
+// Value extracts the selected metric from a comparison. Like String, it is
+// exhaustive over the defined kinds: an unknown kind panics instead of
+// silently reading as fair speedup.
 func (m MetricKind) Value(c Comparison) float64 {
 	switch m {
 	case MetricThroughput:
 		return c.ThroughputNorm
 	case MetricAWS:
 		return c.AWS
-	default:
+	case MetricFS:
 		return c.FS
+	default:
+		panic(fmt.Sprintf("metrics: unknown MetricKind %d", int(m)))
 	}
 }
 

@@ -97,3 +97,23 @@ func TestClassMeanIsGeometric(t *testing.T) {
 		t.Fatalf("ClassMean = %v, want geometric mean 4", got)
 	}
 }
+
+// TestMetricKindExhaustive: Value must be exhaustive over the defined
+// kinds — an unknown kind panics (mirroring String's fallback name) rather
+// than silently reading as fair speedup.
+func TestMetricKindExhaustive(t *testing.T) {
+	c := Comparison{ThroughputNorm: 1.1, AWS: 1.2, FS: 1.3}
+	if got := MetricFS.Value(c); got != 1.3 {
+		t.Errorf("MetricFS.Value = %v, want the FS field", got)
+	}
+	unknown := MetricKind(99)
+	if got := unknown.String(); got != "metric(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown MetricKind.Value did not panic")
+		}
+	}()
+	unknown.Value(c)
+}

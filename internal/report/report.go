@@ -15,38 +15,65 @@ import (
 	"snug/internal/sweep"
 )
 
+// csvHeader expands scheme columns with a "<scheme>_ci95" half-width column
+// each when the series is replicated; single-replicate CSV is unchanged.
+func csvHeader(first string, schemes []string, replicated bool) string {
+	cols := []string{first}
+	for _, s := range schemes {
+		cols = append(cols, s)
+		if replicated {
+			cols = append(cols, s+"_ci95")
+		}
+	}
+	return strings.Join(cols, ",")
+}
+
+// csvCells renders one row's value (and, when replicated, half-width)
+// columns at CSV precision.
+func csvCells(schemes []string, values, ci map[string][]float64, i int) string {
+	var vals []string
+	for _, s := range schemes {
+		vals = append(vals, fmt.Sprintf("%.4f", values[s][i]))
+		if ci != nil {
+			vals = append(vals, fmt.Sprintf("%.4f", ci[s][i]))
+		}
+	}
+	return strings.Join(vals, ",")
+}
+
 // WriteFigure renders a Figures 9–11 dataset as an aligned table. Columns
 // follow the series' scheme list, so partial evaluations (Options.Schemes)
-// render cleanly.
+// render cleanly; replicated series render each cell as mean ±95% CI.
 func WriteFigure(w io.Writer, title string, cs experiments.ClassSeries) error {
 	schemes := cs.Schemes
 	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
 		return err
+	}
+	if cs.Replicates > 1 {
+		if _, err := fmt.Fprintf(w, "(mean ±95%% CI over %d replicates)\n", cs.Replicates); err != nil {
+			return err
+		}
 	}
 	header := append([]string{"class"}, schemes...)
 	rows := [][]string{header}
 	for i, class := range cs.Classes {
 		row := []string{class}
 		for _, s := range schemes {
-			row = append(row, fmt.Sprintf("%.3f", cs.Values[s][i]))
+			row = append(row, cs.Cell(s, i).String())
 		}
 		rows = append(rows, row)
 	}
 	return writeAligned(w, rows)
 }
 
-// WriteFigureCSV renders the same dataset as CSV.
+// WriteFigureCSV renders the same dataset as CSV; replicated series gain a
+// "<scheme>_ci95" half-width column per scheme.
 func WriteFigureCSV(w io.Writer, cs experiments.ClassSeries) error {
-	schemes := cs.Schemes
-	if _, err := fmt.Fprintf(w, "class,%s\n", strings.Join(schemes, ",")); err != nil {
+	if _, err := fmt.Fprintln(w, csvHeader("class", cs.Schemes, cs.CI != nil)); err != nil {
 		return err
 	}
 	for i, class := range cs.Classes {
-		vals := make([]string, len(schemes))
-		for j, s := range schemes {
-			vals[j] = fmt.Sprintf("%.4f", cs.Values[s][i])
-		}
-		if _, err := fmt.Fprintf(w, "%s,%s\n", class, strings.Join(vals, ",")); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%s\n", class, csvCells(cs.Schemes, cs.Values, cs.CI, i)); err != nil {
 			return err
 		}
 	}
@@ -79,33 +106,35 @@ func WriteCombos(w io.Writer, ev *experiments.Evaluation) error {
 
 // WriteScaling renders a scaling-study series as an aligned table: one row
 // per core count, one column per scheme, each cell the cross-class average
-// at that width.
+// at that width (mean ±95% CI when replicated).
 func WriteScaling(w io.Writer, title string, s experiments.ScalingSeries) error {
 	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
 		return err
+	}
+	if s.Replicates > 1 {
+		if _, err := fmt.Fprintf(w, "(mean ±95%% CI over %d replicates)\n", s.Replicates); err != nil {
+			return err
+		}
 	}
 	rows := [][]string{append([]string{"cores"}, s.Schemes...)}
 	for i, n := range s.Cores {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, scheme := range s.Schemes {
-			row = append(row, fmt.Sprintf("%.3f", s.Values[scheme][i]))
+			row = append(row, s.Cell(scheme, i).String())
 		}
 		rows = append(rows, row)
 	}
 	return writeAligned(w, rows)
 }
 
-// WriteScalingCSV renders the same dataset as CSV.
+// WriteScalingCSV renders the same dataset as CSV; replicated series gain a
+// "<scheme>_ci95" half-width column per scheme.
 func WriteScalingCSV(w io.Writer, s experiments.ScalingSeries) error {
-	if _, err := fmt.Fprintf(w, "cores,%s\n", strings.Join(s.Schemes, ",")); err != nil {
+	if _, err := fmt.Fprintln(w, csvHeader("cores", s.Schemes, s.CI != nil)); err != nil {
 		return err
 	}
 	for i, n := range s.Cores {
-		vals := make([]string, len(s.Schemes))
-		for j, scheme := range s.Schemes {
-			vals[j] = fmt.Sprintf("%.4f", s.Values[scheme][i])
-		}
-		if _, err := fmt.Fprintf(w, "%d,%s\n", n, strings.Join(vals, ",")); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%s\n", n, csvCells(s.Schemes, s.Values, s.CI, i)); err != nil {
 			return err
 		}
 	}
@@ -139,7 +168,7 @@ func WriteCharacterization(w io.Writer, title string, c *stackdist.Characterizat
 		}
 		rows = append(rows, row)
 	}
-	mean := append([]string{"mean"}, nil...)
+	mean := []string{"mean"}
 	for _, v := range c.MeanBucketSizes() {
 		mean = append(mean, fmt.Sprintf("%5.1f%%", v*100))
 	}

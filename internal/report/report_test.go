@@ -103,3 +103,82 @@ func TestWriteCharacterizationCSV(t *testing.T) {
 		t.Fatalf("CSV lines = %d, want 2", len(lines))
 	}
 }
+
+// replicatedSeries is sampleSeries plus replicate spread.
+func replicatedSeries() experiments.ClassSeries {
+	cs := sampleSeries()
+	cs.Replicates = 5
+	cs.CI = map[string][]float64{}
+	for _, s := range experiments.FigureSchemes {
+		cs.CI[s] = []float64{0.013, 0.002}
+	}
+	return cs
+}
+
+// TestWriteFigureReplicated: replicated series render mean ±95% CI cells
+// and declare the replicate count.
+func TestWriteFigureReplicated(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFigure(&b, "Figure 9", replicatedSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"±95% CI over 5 replicates", "1.000 ±0.013", "±0.002"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteFigureCSVReplicated: replicated CSV gains a _ci95 column per
+// scheme; single-replicate CSV stays column-identical to before.
+func TestWriteFigureCSVReplicated(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFigureCSV(&b, replicatedSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if want := "class,L2S,L2S_ci95,CC(Best),CC(Best)_ci95,DSR,DSR_ci95,SNUG,SNUG_ci95"; lines[0] != want {
+		t.Errorf("replicated CSV header %q, want %q", lines[0], want)
+	}
+	if !strings.Contains(lines[1], ",0.0130,") {
+		t.Errorf("replicated CSV row missing half-width: %q", lines[1])
+	}
+
+	var s strings.Builder
+	if err := WriteFigureCSV(&s, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	if header := strings.SplitN(s.String(), "\n", 2)[0]; strings.Contains(header, "ci95") {
+		t.Errorf("single-replicate CSV header gained CI columns: %q", header)
+	}
+}
+
+// TestWriteScalingReplicated covers the interval rendering of the scaling
+// table and its CSV.
+func TestWriteScalingReplicated(t *testing.T) {
+	s := experiments.ScalingSeries{
+		Metric:     metrics.MetricThroughput,
+		Schemes:    []string{"SNUG"},
+		Cores:      []int{4, 8},
+		Values:     map[string][]float64{"SNUG": {1.05, 1.08}},
+		CI:         map[string][]float64{"SNUG": {0.01, 0.02}},
+		Replicates: 3,
+	}
+	var b strings.Builder
+	if err := WriteScaling(&b, "Scaling", s); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"over 3 replicates", "1.050 ±0.010", "1.080 ±0.020"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+	var c strings.Builder
+	if err := WriteScalingCSV(&c, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.String(), "cores,SNUG,SNUG_ci95\n") {
+		t.Errorf("scaling CSV header wrong:\n%s", c.String())
+	}
+}

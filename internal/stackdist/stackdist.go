@@ -179,12 +179,12 @@ func (p *Profiler) EndInterval(interval, m, baselineWays int) IntervalResult {
 // Characterization accumulates interval results into per-bucket series — the
 // series Figures 1–3 plot (x: sampling interval, y: stacked bucket sizes).
 type Characterization struct {
-	M           int
-	AThreshold  int
-	Labels      []string
-	BucketOver  []stats.Series // one series per bucket, over intervals
-	MeanDemand  stats.Series
-	TakerShare  stats.Series
+	M          int
+	AThreshold int
+	Labels     []string
+	BucketOver []stats.Series // one series per bucket, over intervals
+	MeanDemand stats.Series
+	TakerShare stats.Series
 }
 
 // NewCharacterization prepares an accumulator for M buckets over

@@ -173,6 +173,96 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// StdDev returns the sample standard deviation of xs (the n-1 "Bessel"
+// denominator, matching the Student-t interval below); 0 for fewer than two
+// samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tCrit95 holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond the table the normal approximation (1.960) is
+// within 4% and monotonically approached.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (the normal 1.960 beyond the tabulated range). It
+// panics on df < 1.
+func TCritical95(df int) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: TCritical95 with df=%d", df))
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.960
+}
+
+// Interval is a mean with a symmetric 95% confidence half-width: the
+// population mean lies in [Mean-Half, Mean+Half] at 95% confidence under
+// the Student-t model. Half is 0 for single-sample input, where the mean
+// is a point estimate with no spread information.
+type Interval struct {
+	Mean float64
+	Half float64
+	N    int // sample count behind the interval
+}
+
+// String renders the interval as the reports print it, e.g. "0.982 ±0.013".
+func (iv Interval) String() string {
+	if iv.N < 2 {
+		return fmt.Sprintf("%.3f", iv.Mean)
+	}
+	return fmt.Sprintf("%.3f ±%.3f", iv.Mean, iv.Half)
+}
+
+// MeanCI returns the Student-t 95% confidence interval of the mean of xs.
+// It panics on empty input — an interval over nothing is a caller bug, not
+// a zero.
+func MeanCI(xs []float64) Interval {
+	if len(xs) == 0 {
+		panic("stats: MeanCI of empty sample")
+	}
+	iv := Interval{Mean: Mean(xs), N: len(xs)}
+	if iv.N < 2 {
+		return iv
+	}
+	iv.Half = TCritical95(iv.N-1) * StdDev(xs) / math.Sqrt(float64(iv.N))
+	return iv
+}
+
+// PairedDelta summarizes the paired differences a[i]-b[i] as a mean with a
+// 95% confidence interval — the right summary for two schemes replicated
+// over the same instruction streams, where per-replicate deltas cancel the
+// shared stream noise. The slices must be equal-length and non-empty.
+func PairedDelta(a, b []float64) (Interval, error) {
+	if len(a) != len(b) {
+		return Interval{}, fmt.Errorf("stats: paired samples of different length %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return Interval{}, fmt.Errorf("stats: paired delta of empty samples")
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return MeanCI(d), nil
+}
+
 // Series is a named sequence of sampled values, one per interval — the unit
 // Figures 1–3 plot (one series per bucket over 1000 sampling intervals).
 type Series struct {

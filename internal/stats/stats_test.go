@@ -200,3 +200,79 @@ func TestMix64Deterministic(t *testing.T) {
 		t.Fatal("Mix64 collision on adjacent inputs")
 	}
 }
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev of one sample = %v, want 0", got)
+	}
+	// {1,2,3,4}: sample variance 5/3.
+	if got, want := StdDev([]float64{1, 2, 3, 4}), math.Sqrt(5.0/3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 30: 2.042, 31: 1.960, 1000: 1.960}
+	for df, want := range cases {
+		if got := TCritical95(df); got != want {
+			t.Errorf("TCritical95(%d) = %v, want %v", df, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TCritical95(0) did not panic")
+		}
+	}()
+	TCritical95(0)
+}
+
+func TestMeanCI(t *testing.T) {
+	iv := MeanCI([]float64{2.5})
+	if iv.Mean != 2.5 || iv.Half != 0 || iv.N != 1 {
+		t.Errorf("single-sample interval %+v, want point estimate", iv)
+	}
+	// {1,2,3}: mean 2, sample sd 1, half-width t(2) / sqrt(3).
+	iv = MeanCI([]float64{1, 2, 3})
+	want := 4.303 / math.Sqrt(3)
+	if iv.Mean != 2 || math.Abs(iv.Half-want) > 1e-12 || iv.N != 3 {
+		t.Errorf("interval %+v, want mean 2 half %v", iv, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MeanCI(nil) did not panic")
+		}
+	}()
+	MeanCI(nil)
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Mean: 0.982, Half: 0.013, N: 5}).String(); got != "0.982 ±0.013" {
+		t.Errorf("Interval.String() = %q", got)
+	}
+	if got := (Interval{Mean: 0.982, N: 1}).String(); got != "0.982" {
+		t.Errorf("single-sample Interval.String() = %q", got)
+	}
+}
+
+func TestPairedDelta(t *testing.T) {
+	// A constant pairwise gap has zero spread regardless of the common noise.
+	iv, err := PairedDelta([]float64{1.1, 2.1, 3.1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-0.1) > 1e-12 || iv.Half > 1e-9 {
+		t.Errorf("paired delta %+v, want mean 0.1 half ~0", iv)
+	}
+	if _, err := PairedDelta([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedDelta(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}

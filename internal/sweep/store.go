@@ -64,6 +64,14 @@ func OpenStore(path string) (*Store, error) {
 			if e.Fingerprint != "" {
 				s.fingerprint = e.Fingerprint
 			} else if e.Key != "" && e.Result != nil {
+				// A single-writer sweep never writes a key twice (completed
+				// jobs are restored, not rerun), so a duplicate means the
+				// store is corrupted or was written by two sweeps at once —
+				// loading it silently would let the later line shadow the
+				// earlier result.
+				if _, dup := s.results[e.Key]; dup {
+					return nil, fmt.Errorf("sweep: checkpoint %s line %d: duplicate key %q", path, lineNo, e.Key)
+				}
 				s.results[e.Key] = *e.Result
 			}
 			addNL = !hasNL

@@ -18,6 +18,9 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"slices"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,6 +71,19 @@ type Options struct {
 	// results produced under a different configuration is an error, not a
 	// silent mix. Empty skips the check.
 	Fingerprint string
+	// AcceptFingerprints lists additional stored fingerprints to treat as
+	// equivalent to Fingerprint on resume — for renames of the fingerprint
+	// format itself (e.g. introducing a version token) where the underlying
+	// results are unchanged. The store keeps its original header.
+	AcceptFingerprints []string
+	// Replicates expands every job into this many independently-seeded
+	// replicates (0 and 1 both mean a single run). Replicate 0 keeps the
+	// job's key and seed byte-identical to a non-replicated sweep, so
+	// existing checkpoint stores keep resuming; replicate r > 0 runs under
+	// key ReplicateKey(Key, r) ("key@r3") with a seed derived from the
+	// suffixed seed key, so jobs sharing a SeedKey stay paired within each
+	// replicate while replicates draw independent streams.
+	Replicates int
 	// OnProgress, when set, is called once after restoration and once per
 	// completed job. It runs on the collector goroutine; callbacks must not
 	// block for long.
@@ -92,6 +108,61 @@ func JobSeed(base uint64, seedKey string) uint64 {
 	return stats.Mix64(base ^ stats.HashString(seedKey))
 }
 
+// repSep introduces a replicate suffix in keys and seed keys. "@r0" never
+// appears: replicate 0 IS the unsuffixed identity.
+const repSep = "@r"
+
+// ReplicateKey returns the key of replicate r of key. Replicate 0 is the
+// key itself — byte-identical to a non-replicated sweep, so single-replicate
+// runs resume today's checkpoint stores unchanged — and r > 0 appends
+// "@r<r>" ("4xammp/SNUG@r3"). It panics on a negative replicate.
+func ReplicateKey(key string, r int) string {
+	if r < 0 {
+		panic(fmt.Sprintf("sweep: negative replicate %d", r))
+	}
+	if r == 0 {
+		return key
+	}
+	return key + repSep + strconv.Itoa(r)
+}
+
+// SplitReplicateKey splits a possibly replicate-suffixed key into its base
+// key and replicate index: "4xammp/SNUG@r3" → ("4xammp/SNUG", 3), and a key
+// without a well-formed suffix is replicate 0 of itself.
+func SplitReplicateKey(key string) (string, int) {
+	i := strings.LastIndex(key, repSep)
+	if i < 0 {
+		return key, 0
+	}
+	r, err := strconv.Atoi(key[i+len(repSep):])
+	if err != nil || r <= 0 {
+		return key, 0
+	}
+	return key[:i], r
+}
+
+// expandReplicates turns each job into reps independently-seeded copies,
+// replicate-major (all of replicate 0, then replicate 1, ...) so a resumed
+// single-replicate store satisfies a contiguous prefix.
+func expandReplicates(jobs []Job, reps int) []Job {
+	out := make([]Job, 0, len(jobs)*reps)
+	for r := 0; r < reps; r++ {
+		for _, j := range jobs {
+			rj := j
+			rj.Key = ReplicateKey(j.Key, r)
+			if j.SeedKey != "" {
+				// An explicit seed key gets the same suffix, keeping jobs
+				// that share one (paired comparisons) paired per replicate.
+				// An empty seed key needs nothing: it defaults to the
+				// already-suffixed Key at run time.
+				rj.SeedKey = ReplicateKey(j.SeedKey, r)
+			}
+			out = append(out, rj)
+		}
+	}
+	return out
+}
+
 // Run executes the sweep and returns results keyed by Job.Key. On the first
 // job failure it stops handing out new jobs, lets in-flight jobs finish
 // (their results are still checkpointed), and returns a *JobError alongside
@@ -100,6 +171,10 @@ func Run(opts Options, jobs []Job) (map[string]cmp.RunResult, error) {
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
+	}
+	reps := opts.Replicates
+	if reps < 1 {
+		reps = 1
 	}
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
@@ -110,6 +185,16 @@ func Run(opts Options, jobs []Job) (map[string]cmp.RunResult, error) {
 			return nil, fmt.Errorf("sweep: duplicate job key %q", j.Key)
 		}
 		seen[j.Key] = true
+		if reps > 1 {
+			// A key that already parses as a replicate would collide with an
+			// expanded one ("a@r1" vs replicate 1 of "a").
+			if base, r := SplitReplicateKey(j.Key); r != 0 {
+				return nil, fmt.Errorf("sweep: job key %q looks like replicate %d of %q; replicate-suffixed keys are reserved under Replicates > 1", j.Key, r, base)
+			}
+		}
+	}
+	if reps > 1 {
+		jobs = expandReplicates(jobs, reps)
 	}
 
 	results := make(map[string]cmp.RunResult, len(jobs))
@@ -129,7 +214,7 @@ func Run(opts Options, jobs []Job) (map[string]cmp.RunResult, error) {
 				if err := store.SetFingerprint(opts.Fingerprint); err != nil {
 					return nil, err
 				}
-			case fp != opts.Fingerprint:
+			case fp != opts.Fingerprint && !slices.Contains(opts.AcceptFingerprints, fp):
 				return nil, fmt.Errorf("sweep: checkpoint %s was produced under a different configuration (%s, want %s); refusing to mix results", opts.Checkpoint, fp, opts.Fingerprint)
 			}
 		}
@@ -213,15 +298,19 @@ func Run(opts Options, jobs []Job) (map[string]cmp.RunResult, error) {
 			fail(&JobError{Key: o.key, Err: o.err})
 			continue
 		}
+		// The job itself succeeded, so its result and progress accounting
+		// stand even if checkpointing it below fails — the computation is
+		// done and callers can still use it alongside the error.
 		results[o.key] = o.res
-		if store != nil {
-			if err := store.Put(o.key, o.res); err != nil {
-				fail(err)
-				continue
-			}
-		}
 		done++
 		emit(o.key)
+		if store != nil {
+			if err := store.Put(o.key, o.res); err != nil {
+				// Wrap with the job identity like any other job failure, so
+				// callers (experiments.evalErr) keep combo/run context.
+				fail(&JobError{Key: o.key, Err: err})
+			}
+		}
 	}
 	if firstErr != nil {
 		return results, firstErr

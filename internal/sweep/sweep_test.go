@@ -3,10 +3,12 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -183,6 +185,20 @@ func TestFingerprintGuard(t *testing.T) {
 		t.Errorf("matching resume restored %d, want 3", last.Restored)
 	}
 
+	// An old-format fingerprint listed in AcceptFingerprints resumes (a
+	// format rename, not a configuration change); others still fail.
+	var acc Progress
+	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-a"},
+		OnProgress: func(p Progress) { acc = p }}, fakeJobs(3)); err != nil {
+		t.Fatalf("accepted legacy fingerprint rejected: %v", err)
+	}
+	if acc.Restored != 3 {
+		t.Errorf("legacy-fingerprint resume restored %d, want 3", acc.Restored)
+	}
+	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-z"}}, fakeJobs(3)); err == nil {
+		t.Error("unlisted fingerprint accepted")
+	}
+
 	// A store with results but no header cannot prove its provenance.
 	legacy := filepath.Join(t.TempDir(), "legacy.json")
 	if _, err := Run(Options{Checkpoint: legacy}, fakeJobs(2)); err != nil {
@@ -253,5 +269,191 @@ func TestStoreTornTail(t *testing.T) {
 	}
 	if _, err := OpenStore(mid); err == nil {
 		t.Error("mid-file corruption accepted")
+	}
+}
+
+// TestPutFailureKeepsResultAndContext: a checkpoint write failure surfaces
+// as a *JobError carrying the job's key (not a bare store error), and the
+// successfully computed result stays in the returned map with its progress
+// accounted — the simulation is done even if persisting it was not.
+func TestPutFailureKeepsResultAndContext(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	// NaN is not representable in JSON, so the store's marshal — and hence
+	// Put — fails for exactly this job while the job itself succeeds.
+	poison := Job{Key: "poisoned", Run: func(uint64) (cmp.RunResult, error) {
+		return cmp.RunResult{Scheme: "poisoned", Cores: []cmp.CoreResult{{IPC: math.NaN()}}}, nil
+	}}
+	var last Progress
+	res, err := Run(Options{Parallelism: 1, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }},
+		[]Job{fakeJob("ok", ""), poison})
+	if err == nil {
+		t.Fatal("Put failure did not surface an error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Key != "poisoned" {
+		t.Errorf("error %v, want *JobError for key \"poisoned\"", err)
+	}
+	if _, ok := res["poisoned"]; !ok {
+		t.Error("computed result dropped on checkpoint failure")
+	}
+	if last.Done != 2 {
+		t.Errorf("final progress done=%d, want 2 (the failed-to-persist job still completed)", last.Done)
+	}
+	// The store must still load: the failed Put wrote nothing (marshal
+	// failed before the write), so only the ok job is checkpointed.
+	s, err := OpenStore(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 1 {
+		t.Errorf("store has %d entries, want 1", s.Len())
+	}
+}
+
+// TestStoreDuplicateKey: a store holding two results under one key is
+// corrupted (a single-writer sweep never rewrites a key); loading it must
+// fail naming the offending line, not let the later line win silently.
+func TestStoreDuplicateKey(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "dup.json")
+	lines := `{"key":"a","result":{"Scheme":"x"}}
+{"key":"b","result":{"Scheme":"y"}}
+{"key":"a","result":{"Scheme":"z"}}
+`
+	if err := os.WriteFile(ckpt, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenStore(ckpt)
+	if err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	for _, want := range []string{"line 3", `"a"`, "duplicate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestReplicateKeyGrammar pins the replicate key grammar: replicate 0 IS
+// the base key (no "@r0" anywhere, so single-replicate sweeps keep their
+// historic store keys), r > 0 appends "@r<r>", and SplitReplicateKey
+// inverts ReplicateKey.
+func TestReplicateKeyGrammar(t *testing.T) {
+	if got := ReplicateKey("4xammp/SNUG", 0); got != "4xammp/SNUG" {
+		t.Errorf("replicate 0 key %q, want the unsuffixed base", got)
+	}
+	if got := ReplicateKey("4xammp/SNUG", 3); got != "4xammp/SNUG@r3" {
+		t.Errorf("replicate 3 key %q", got)
+	}
+	for _, key := range []string{"4xammp/SNUG", "4xammp/CC(75%)", "plain"} {
+		for _, r := range []int{0, 1, 7, 12} {
+			base, rep := SplitReplicateKey(ReplicateKey(key, r))
+			if base != key || rep != r {
+				t.Errorf("round trip (%q, %d) -> (%q, %d)", key, r, base, rep)
+			}
+		}
+	}
+	// A base key that itself looks like a replicate cannot round-trip —
+	// which is why Run rejects such keys when Replicates > 1.
+	if base, rep := SplitReplicateKey("a@r3"); base != "a" || rep != 3 {
+		t.Errorf(`SplitReplicateKey("a@r3") = (%q, %d)`, base, rep)
+	}
+	// Malformed suffixes are part of the base key, never replicate 0 aliases.
+	for _, key := range []string{"a@r0", "a@r-1", "a@rx", "a@r"} {
+		if base, rep := SplitReplicateKey(key); base != key || rep != 0 {
+			t.Errorf("SplitReplicateKey(%q) = (%q, %d), want the key itself", key, base, rep)
+		}
+	}
+}
+
+// TestRunReplicates: Replicates expands every job into independently-seeded
+// copies — replicate 0 byte-identical to an unreplicated sweep, jobs
+// sharing a SeedKey paired within each replicate, replicates drawing
+// distinct seeds — and stays deterministic across worker counts.
+func TestRunReplicates(t *testing.T) {
+	// Each job's result carries its derived seed out in the Cycles field,
+	// keyed in the results map by the expanded replicate key.
+	jobs := []Job{
+		{Key: "combo/L2P", SeedKey: "combo"},
+		{Key: "combo/SNUG", SeedKey: "combo"},
+	}
+	for i := range jobs {
+		key := jobs[i].Key
+		jobs[i].Run = func(seed uint64) (cmp.RunResult, error) {
+			return cmp.RunResult{Scheme: key, Cycles: int64(seed >> 1)}, nil
+		}
+	}
+	res, err := Run(Options{Parallelism: 1, BaseSeed: 9, Replicates: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("%d results, want 6 (2 jobs x 3 replicates)", len(res))
+	}
+	seedOf := func(key string) int64 { return res[key].Cycles }
+	// Replicate 0 matches an unreplicated sweep exactly.
+	if want := int64(JobSeed(9, "combo") >> 1); seedOf("combo/L2P") != want {
+		t.Errorf("replicate 0 seed %#x, want the unreplicated JobSeed %#x", seedOf("combo/L2P"), want)
+	}
+	for r := 1; r < 3; r++ {
+		l2p, snug := ReplicateKey("combo/L2P", r), ReplicateKey("combo/SNUG", r)
+		if _, ok := res[l2p]; !ok {
+			t.Fatalf("missing replicate key %s", l2p)
+		}
+		if seedOf(l2p) != seedOf(snug) {
+			t.Errorf("replicate %d schemes unpaired: %#x vs %#x", r, seedOf(l2p), seedOf(snug))
+		}
+		if seedOf(l2p) == seedOf("combo/L2P") {
+			t.Errorf("replicate %d reuses replicate 0's stream", r)
+		}
+	}
+
+	// Determinism across worker counts, replicated.
+	again, err := Run(Options{Parallelism: 4, BaseSeed: 9, Replicates: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("replicated results differ between Parallelism 1 and 4")
+	}
+
+	// A key that already looks like a replicate would collide with the
+	// expansion; reject it up front.
+	if _, err := Run(Options{Replicates: 2}, []Job{fakeJob("a@r1", "")}); err == nil {
+		t.Error("replicate-suffixed job key accepted under Replicates > 1")
+	}
+}
+
+// TestRunReplicatesResume: a store written by a single-replicate sweep
+// seeds a replicated rerun of the same jobs — replicate 0 restores, only
+// the new replicates simulate.
+func TestRunReplicatesResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	jobs := fakeJobs(4)
+	if _, err := Run(Options{Parallelism: 2, Checkpoint: ckpt}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int64
+	for i := range jobs {
+		inner := jobs[i].Run
+		jobs[i].Run = func(seed uint64) (cmp.RunResult, error) {
+			executed.Add(1)
+			return inner(seed)
+		}
+	}
+	var last Progress
+	res, err := Run(Options{Parallelism: 2, Checkpoint: ckpt, Replicates: 3,
+		OnProgress: func(p Progress) { last = p }}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 8 {
+		t.Errorf("replicated resume executed %d jobs, want 8 (4 restored from the single-replicate store)", n)
+	}
+	if last.Restored != 4 || last.Done != 12 {
+		t.Errorf("final progress %+v, want restored=4 done=12", last)
+	}
+	if len(res) != 12 {
+		t.Errorf("%d results, want 12", len(res))
 	}
 }
