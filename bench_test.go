@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"testing"
 
+	"snug/internal/bench"
 	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/core"
@@ -28,8 +29,10 @@ import (
 )
 
 // benchCycles keeps individual simulations short enough for -bench runs
-// while spanning several SNUG epochs.
-const benchCycles = 1_200_000
+// while spanning several SNUG epochs. It aliases the internal/bench run
+// length so every benchmark here measures the same amount of simulated
+// work as the shared perf-trajectory bodies.
+const benchCycles = bench.Cycles
 
 // characterize runs one Figures 1-3 benchmark and reports bucket shares.
 func characterize(b *testing.B, bench string) {
@@ -81,59 +84,20 @@ func BenchmarkTable3Overhead(b *testing.B) {
 	b.ReportMetric(worst, "max_overhead_%")
 }
 
-// figure runs the full Table 8 evaluation once per iteration and reports
-// each scheme's cross-class average for the chosen metric.
-func figure(b *testing.B, metric metrics.MetricKind) {
-	b.Helper()
-	var avg map[string]float64
-	for i := 0; i < b.N; i++ {
-		// Parallelism 0 = GOMAXPROCS, via the sweep engine's default.
-		ev, err := experiments.Evaluate(experiments.Options{
-			Cfg: config.TestScale(), RunCycles: benchCycles,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cs, err := ev.Figure(metric)
-		if err != nil {
-			b.Fatal(err)
-		}
-		avg = map[string]float64{}
-		last := len(cs.Classes) - 1 // the AVG row
-		for _, s := range experiments.FigureSchemes {
-			avg[s] = cs.Values[s][last]
-		}
-	}
-	for _, s := range experiments.FigureSchemes {
-		b.ReportMetric(avg[s], s+"_avg")
-	}
-}
+// The figure benchmarks share one body (internal/bench.FigureMetric, also
+// behind cmd/bench's perf-trajectory baseline), so all three measure the
+// same evaluation work.
+func BenchmarkFigure9Throughput(b *testing.B)   { bench.Figure9Throughput(b) }
+func BenchmarkFigure10AWS(b *testing.B)         { bench.FigureMetric(b, metrics.MetricAWS) }
+func BenchmarkFigure11FairSpeedup(b *testing.B) { bench.FigureMetric(b, metrics.MetricFS) }
 
-func BenchmarkFigure9Throughput(b *testing.B)   { figure(b, metrics.MetricThroughput) }
-func BenchmarkFigure10AWS(b *testing.B)         { figure(b, metrics.MetricAWS) }
-func BenchmarkFigure11FairSpeedup(b *testing.B) { figure(b, metrics.MetricFS) }
-
-// schemeOnMix times one simulation of a representative mixed workload —
-// the per-scheme cost of the simulator itself.
-func schemeOnMix(b *testing.B, scheme string) {
-	b.Helper()
-	bench := []string{"ammp", "parser", "swim", "mesa"}
-	var tput float64
-	for i := 0; i < b.N; i++ {
-		r, err := cmp.RunWorkload(config.TestScale(), scheme, bench, benchCycles)
-		if err != nil {
-			b.Fatal(err)
-		}
-		tput = r.Throughput()
-	}
-	b.ReportMetric(tput, "throughput")
-}
-
-func BenchmarkSchemeL2P(b *testing.B)  { schemeOnMix(b, "L2P") }
-func BenchmarkSchemeL2S(b *testing.B)  { schemeOnMix(b, "L2S") }
-func BenchmarkSchemeCC(b *testing.B)   { schemeOnMix(b, "CC") }
-func BenchmarkSchemeDSR(b *testing.B)  { schemeOnMix(b, "DSR") }
-func BenchmarkSchemeSNUG(b *testing.B) { schemeOnMix(b, "SNUG") }
+// The per-scheme benchmarks share one body (internal/bench.SchemeOnMix),
+// so every scheme times the same workload and run length.
+func BenchmarkSchemeL2P(b *testing.B)  { bench.SchemeOnMix(b, "L2P") }
+func BenchmarkSchemeL2S(b *testing.B)  { bench.SchemeOnMix(b, "L2S") }
+func BenchmarkSchemeCC(b *testing.B)   { bench.SchemeOnMix(b, "CC") }
+func BenchmarkSchemeDSR(b *testing.B)  { bench.SchemeOnMix(b, "DSR") }
+func BenchmarkSchemeSNUG(b *testing.B) { bench.SchemeSNUG(b) }
 
 // scheme8Core times one 8-core scale-out simulation — the scaling study's
 // unit of work, tracking the new width axis next to the quad-core numbers.
@@ -143,10 +107,10 @@ func scheme8Core(b *testing.B, scheme string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bench := []string{"ammp", "ammp", "parser", "parser", "swim", "swim", "mesa", "mesa"}
+	mix := []string{"ammp", "ammp", "parser", "parser", "swim", "swim", "mesa", "mesa"}
 	var tput float64
 	for i := 0; i < b.N; i++ {
-		r, err := cmp.RunWorkload(cfg, scheme, bench, benchCycles)
+		r, err := cmp.RunWorkload(cfg, scheme, mix, benchCycles)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,16 +126,16 @@ func BenchmarkScheme8CoreSNUG(b *testing.B) { scheme8Core(b, "SNUG") }
 // class (the design choices DESIGN.md calls out).
 func ablate(b *testing.B, mutate func(*config.System)) {
 	b.Helper()
-	bench := []string{"ammp", "ammp", "ammp", "ammp"}
+	mix := []string{"ammp", "ammp", "ammp", "ammp"}
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		base, err := cmp.RunWorkload(config.TestScale(), "L2P", bench, benchCycles)
+		base, err := cmp.RunWorkload(config.TestScale(), "L2P", mix, benchCycles)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cfg := config.TestScale()
 		mutate(&cfg)
-		r, err := cmp.RunWorkload(cfg, "SNUG", bench, benchCycles)
+		r, err := cmp.RunWorkload(cfg, "SNUG", mix, benchCycles)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,20 +183,9 @@ func BenchmarkSweepEngine(b *testing.B) {
 }
 
 // BenchmarkSimulatorSpeed measures raw simulation throughput in simulated
-// cycles per wall-clock second.
-func BenchmarkSimulatorSpeed(b *testing.B) {
-	bench := []string{"ammp", "parser", "swim", "mesa"}
-	streams, err := cmp.WorkloadStreams(config.TestScale(), bench, benchCycles/32)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sys, err := cmp.NewSystem(config.TestScale(), "SNUG", streams)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.Run(100_000)
-	}
-	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
-}
+// cycles per wall-clock second over recorded-and-replayed streams (the
+// sweep's steady-state shape); BenchmarkSimulatorSpeedLive is the same
+// measurement over live generators. Bodies live in internal/bench, shared
+// with cmd/bench's machine-readable baseline.
+func BenchmarkSimulatorSpeed(b *testing.B)     { bench.SimulatorSpeed(b) }
+func BenchmarkSimulatorSpeedLive(b *testing.B) { bench.SimulatorSpeedLive(b) }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteAndCheckBaseline writes a one-benchmark baseline and then
+// checks the machine against it: a freshly measured machine must be within
+// tolerance of itself. SimulatorSpeed (the gated benchmark) would take
+// seconds, so the round trip uses the same code path end to end but is
+// validated again at full scale by CI's regression gate.
+func TestWriteAndCheckBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out bytes.Buffer
+	if err := run([]string{"-out", path, "-bench", "SimulatorSpeed"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	res, ok := base.Benchmarks["SimulatorSpeed"]
+	if !ok {
+		t.Fatalf("baseline missing SimulatorSpeed: %s", raw)
+	}
+	if res.NsPerOp <= 0 || res.Metrics["sim-cycles/s"] <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+
+	out.Reset()
+	if err := run([]string{"-check", path, "-tolerance", "0.5"}, &out, io.Discard); err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "benchmark check passed") {
+		t.Errorf("check output missing pass line:\n%s", out.String())
+	}
+}
+
+// TestCheckDetectsRegression feeds -check a baseline faster than any real
+// machine and expects failure.
+func TestCheckDetectsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "fast.json")
+	base := Baseline{Benchmarks: map[string]Result{
+		"SimulatorSpeed": {Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"sim-cycles/s": 1e15}},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-check", path}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("check passed against an impossibly fast baseline")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q does not name the regression", err)
+	}
+}
+
+// TestCheckRefusesEmptyComparison guards the gate against becoming a
+// silent no-op: a baseline that names none of the measured benchmarks
+// (schema or name drift) must fail the check, not pass it.
+func TestCheckRefusesEmptyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "drifted.json")
+	base := Baseline{Benchmarks: map[string]Result{
+		"RenamedBenchmark": {Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"sim-cycles/s": 1}},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-check", path}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("check passed while comparing nothing")
+	}
+	if !strings.Contains(err.Error(), "checked nothing") {
+		t.Errorf("error %q does not explain the empty comparison", err)
+	}
+}
+
+// TestRunFlagErrors covers CLI error paths without running benchmarks.
+func TestRunFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":          {"-nope"},
+		"positional args":   {"-out", "x.json", "extra"},
+		"neither mode":      {},
+		"both modes":        {"-out", "a.json", "-check", "b.json"},
+		"unknown benchmark": {"-out", os.DevNull, "-bench", "NoSuchBench"},
+		"missing baseline":  {"-check", "definitely-missing.json", "-bench", "SimulatorSpeedDoesNotRun"},
+	}
+	for name, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}

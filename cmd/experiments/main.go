@@ -31,6 +31,7 @@ import (
 	"snug/internal/metrics"
 	"snug/internal/report"
 	"snug/internal/sweep"
+	"snug/internal/trace"
 )
 
 // figures are the three evaluation metrics in paper order.
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "sweep results store: completed runs are checkpointed here as JSON lines")
 	resume := fs.Bool("resume", false, "resume from -out, skipping runs already checkpointed")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress on stderr")
+	replay := fs.Bool("replay", true, "record each cell's instruction streams once and replay them to every scheme (bit-identical results); false regenerates streams live per run")
 	ablation := fs.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
 	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
 	if err := fs.Parse(args); err != nil {
@@ -103,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runAblation(stdout, cfg, *cycles, *par)
+		return runAblation(stdout, cfg, *cycles, *par, *replay)
 	}
 
 	if *resume && *out == "" {
@@ -135,6 +137,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			BaseCfg: cfg, CoreCounts: coreCounts, RunCycles: *cycles,
 			Parallelism: *par, Classes: cls, Schemes: sch,
 			Checkpoint: *out, Progress: progress, Replicates: *reps,
+			NoReplay: !*replay,
 		}, *csvDir)
 	}
 
@@ -148,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ev, err := experiments.Evaluate(experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
 		Schemes: sch, Checkpoint: *out, Progress: progress, Replicates: *reps,
+		NoReplay: !*replay,
 	})
 	if err != nil {
 		return err
@@ -229,7 +233,7 @@ func writeCSV(path string, write func(io.Writer) error) error {
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(stdout io.Writer, base config.System, cycles int64, par int) error {
+func runAblation(stdout io.Writer, base config.System, cycles int64, par int, replay bool) error {
 	// The quad-core A+A+D+D mix, replicated to the configured width the
 	// same way workloads.ScaleOut widens Table 8.
 	var bench []string
@@ -255,11 +259,28 @@ func runAblation(stdout io.Writer, base config.System, cycles int64, par int) er
 	// All jobs share one seed key so every variant sees the same instruction
 	// streams as the L2P baseline it is normalized against.
 	seedKey := "ablation/" + strings.Join(bench, "+")
+	// With replay, record those shared streams once and replay them to
+	// every variant: the variants mutate only controller parameters, never
+	// the seed or the L2 geometry the streams derive from. The shared seed
+	// is derivable up front, exactly as in cmd/snugsim.
+	var recordings []*trace.Recording
+	if replay {
+		c := base
+		c.Seed = sweep.JobSeed(base.Seed, seedKey)
+		streams, err := cmp.WorkloadStreams(c, bench, cmp.PhaseRefs(cycles))
+		if err != nil {
+			return err
+		}
+		recordings = trace.RecordAll(streams)
+	}
 	job := func(key, scheme string, mut func(*config.System)) sweep.Job {
 		return sweep.Job{Key: key, SeedKey: seedKey, Run: func(seed uint64) (cmp.RunResult, error) {
 			cfg := base
 			cfg.Seed = seed
 			mut(&cfg)
+			if recordings != nil {
+				return cmp.RunStreams(cfg, scheme, trace.Replays(recordings), cycles)
+			}
 			return cmp.RunWorkload(cfg, scheme, bench, cycles)
 		}}
 	}

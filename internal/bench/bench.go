@@ -1,0 +1,129 @@
+// Package bench hosts the bodies of the repository's headline performance
+// benchmarks, shared between the `go test -bench` harness (bench_test.go at
+// the module root) and cmd/bench, which runs them standalone to write and
+// check the machine-readable perf-trajectory baseline (BENCH_PR<n>.json).
+// Keeping one body per benchmark guarantees the committed baseline and the
+// -bench output measure exactly the same work.
+package bench
+
+import (
+	"testing"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/experiments"
+	"snug/internal/metrics"
+	"snug/internal/trace"
+)
+
+// Cycles keeps individual simulations short enough for -bench runs while
+// spanning several SNUG epochs (the benchCycles of bench_test.go).
+const Cycles = 1_200_000
+
+// MixBench is the representative mixed workload (one benchmark per class)
+// the simulator-speed and per-scheme benchmarks run.
+var MixBench = []string{"ammp", "parser", "swim", "mesa"}
+
+// SimulatorSpeed measures raw simulation throughput, in simulated cycles
+// per wall-clock second, over recorded-and-replayed instruction streams —
+// the sweep engine's steady-state shape, where every scheme after the first
+// replays the combo's recording. Each iteration assembles a fresh system
+// and replays the same recordings; the recording itself is captured before
+// the timer starts.
+func SimulatorSpeed(b *testing.B) {
+	cfg := config.TestScale()
+	streams, err := cmp.WorkloadStreams(cfg, MixBench, cmp.PhaseRefs(Cycles))
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := trace.RecordAll(streams)
+	// One untimed replayed run extends the recordings to everything the
+	// timed iterations will consume, so they measure pure replay.
+	if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(Cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// SimulatorSpeedLive is SimulatorSpeed over live generators — each
+// iteration synthesizes its instruction streams from scratch, the shape of
+// a cell's first (recording) run. The gap between the two benchmarks is
+// the stream-synthesis share the record/replay subsystem amortizes away.
+func SimulatorSpeedLive(b *testing.B) {
+	cfg := config.TestScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.RunWorkload(cfg, "SNUG", MixBench, Cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(Cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// SchemeOnMix times one live simulation of the representative mix under
+// scheme — the per-scheme cost of the simulator itself, generators
+// included.
+func SchemeOnMix(b *testing.B, scheme string) {
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		r, err := cmp.RunWorkload(config.TestScale(), scheme, MixBench, Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = r.Throughput()
+	}
+	b.ReportMetric(tput, "throughput")
+}
+
+// SchemeSNUG is SchemeOnMix under the paper's controller, the variant the
+// perf-trajectory baseline tracks.
+func SchemeSNUG(b *testing.B) { SchemeOnMix(b, "SNUG") }
+
+// FigureMetric runs the full Table 8 evaluation once per iteration (all
+// classes, all schemes, through the sweep engine with record/replay on)
+// and reports each scheme's cross-class average for the chosen metric.
+func FigureMetric(b *testing.B, metric metrics.MetricKind) {
+	var avg map[string]float64
+	for i := 0; i < b.N; i++ {
+		// Parallelism 0 = GOMAXPROCS, via the sweep engine's default.
+		ev, err := experiments.Evaluate(experiments.Options{
+			Cfg: config.TestScale(), RunCycles: Cycles,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs, err := ev.Figure(metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = map[string]float64{}
+		last := len(cs.Classes) - 1 // the AVG row
+		for _, s := range experiments.FigureSchemes {
+			avg[s] = cs.Values[s][last]
+		}
+	}
+	for _, s := range experiments.FigureSchemes {
+		b.ReportMetric(avg[s], s+"_avg")
+	}
+}
+
+// Figure9Throughput is FigureMetric on normalized throughput, the figure
+// the perf-trajectory baseline tracks.
+func Figure9Throughput(b *testing.B) { FigureMetric(b, metrics.MetricThroughput) }
+
+// ByName maps the exported benchmark names to their bodies, in the order
+// cmd/bench runs and reports them.
+var ByName = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"SimulatorSpeed", SimulatorSpeed},
+	{"SimulatorSpeedLive", SimulatorSpeedLive},
+	{"SchemeSNUG", SchemeSNUG},
+	{"Figure9Throughput", Figure9Throughput},
+}

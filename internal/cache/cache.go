@@ -56,6 +56,13 @@ type Cache struct {
 	lines []Block // sets*ways, row-major by set
 	tick  uint64
 	stats Stats
+
+	// Cached geometry arithmetic: Lookup sits on the simulator's
+	// per-access hot path, so the index/tag shift and mask are flattened
+	// out of the Geometry value into direct fields.
+	offBits  uint
+	tagShift uint
+	idxMask  uint64
 }
 
 // New builds a cache with the given geometry and associativity.
@@ -64,10 +71,13 @@ func New(geom addr.Geometry, ways int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: associativity must be positive, got %d", ways)
 	}
 	return &Cache{
-		geom:  geom,
-		ways:  ways,
-		sets:  geom.Sets(),
-		lines: make([]Block, geom.Sets()*ways),
+		geom:     geom,
+		ways:     ways,
+		sets:     geom.Sets(),
+		lines:    make([]Block, geom.Sets()*ways),
+		offBits:  geom.OffsetBits(),
+		tagShift: geom.OffsetBits() + geom.IndexBits(),
+		idxMask:  uint64(geom.Sets() - 1),
 	}, nil
 }
 
@@ -96,10 +106,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Index returns the set index for a under this cache's geometry.
-func (c *Cache) Index(a addr.Addr) uint32 { return c.geom.Index(a) }
+func (c *Cache) Index(a addr.Addr) uint32 {
+	return uint32((uint64(a) >> c.offBits) & c.idxMask)
+}
 
 // Tag returns the tag for a under this cache's geometry.
-func (c *Cache) Tag(a addr.Addr) uint64 { return c.geom.Tag(a) }
+func (c *Cache) Tag(a addr.Addr) uint64 { return uint64(a) >> c.tagShift }
 
 // set returns the ways of set s.
 func (c *Cache) set(s uint32) []Block {
@@ -107,25 +119,61 @@ func (c *Cache) set(s uint32) []Block {
 	return c.lines[base : base+c.ways]
 }
 
+// matchWay returns the way of set holding tag at its original index (local
+// lines and CC blocks with F==false), or -1. It is the tag-match scan shared
+// by Lookup, Probe and Invalidate: ways are visited in order, the tag
+// compare leads (it is the discriminating test — valid non-matching lines
+// dominate), and sets of up to four ways (the private L1s) are unrolled.
+func matchWay(set []Block, tag uint64) int {
+	if len(set) <= 4 {
+		if b := &set[0]; b.Tag == tag && b.Valid && !(b.CC && b.F) {
+			return 0
+		}
+		if len(set) > 1 {
+			if b := &set[1]; b.Tag == tag && b.Valid && !(b.CC && b.F) {
+				return 1
+			}
+		}
+		if len(set) > 2 {
+			if b := &set[2]; b.Tag == tag && b.Valid && !(b.CC && b.F) {
+				return 2
+			}
+		}
+		if len(set) > 3 {
+			if b := &set[3]; b.Tag == tag && b.Valid && !(b.CC && b.F) {
+				return 3
+			}
+		}
+		return -1
+	}
+	for i := range set {
+		b := &set[i]
+		if b.Tag == tag && b.Valid && !(b.CC && b.F) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup searches set-of(a) for a's tag among lines that sit at their
 // original index (local lines and CC blocks with F==false). On a hit the
 // block is promoted to MRU, the dirty bit is set for writes, and hit
 // statistics are updated. On a miss only the miss counter is updated.
+// The tag-match scan (matchWay) is split from the LRU promotion so the
+// scan stays a tight read-only loop.
 func (c *Cache) Lookup(a addr.Addr, write bool) (hit bool, blk *Block) {
-	s := c.geom.Index(a)
-	tag := c.geom.Tag(a)
+	s := uint32((uint64(a) >> c.offBits) & c.idxMask)
+	tag := uint64(a) >> c.tagShift
 	set := c.set(s)
-	for i := range set {
-		b := &set[i]
-		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
-			c.tick++
-			b.use = c.tick
-			if write {
-				b.Dirty = true
-			}
-			c.stats.Hits++
-			return true, b
+	if w := matchWay(set, tag); w >= 0 {
+		b := &set[w]
+		c.tick++
+		b.use = c.tick
+		if write {
+			b.Dirty = true
 		}
+		c.stats.Hits++
+		return true, b
 	}
 	c.stats.Misses++
 	return false, nil
@@ -134,15 +182,7 @@ func (c *Cache) Lookup(a addr.Addr, write bool) (hit bool, blk *Block) {
 // Probe reports whether a's tag is present at its original index, without
 // updating LRU state or statistics.
 func (c *Cache) Probe(a addr.Addr) bool {
-	s := c.geom.Index(a)
-	tag := c.geom.Tag(a)
-	for i, set := 0, c.set(s); i < len(set); i++ {
-		b := &set[i]
-		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
-			return true
-		}
-	}
-	return false
+	return matchWay(c.set(c.Index(a)), c.Tag(a)) >= 0
 }
 
 // FindCC searches set index setIdx for a cooperatively cached block with
@@ -204,8 +244,8 @@ func (c *Cache) Fill(setIdx uint32, way int, nb Block) (victim Block) {
 // Insert is Victim+Fill: it installs a block for address a (with the given
 // state) into its set, returning the evicted block if any.
 func (c *Cache) Insert(a addr.Addr, nb Block) (victim Block) {
-	s := c.geom.Index(a)
-	nb.Tag = c.geom.Tag(a)
+	s := c.Index(a)
+	nb.Tag = c.Tag(a)
 	way, _ := c.Victim(s)
 	return c.Fill(s, way, nb)
 }
@@ -233,17 +273,12 @@ func (c *Cache) InvalidateWay(setIdx uint32, way int) Block {
 // Invalidate removes a's block from its original index, returning it.
 // found is false when the block was not present.
 func (c *Cache) Invalidate(a addr.Addr) (old Block, found bool) {
-	s := c.geom.Index(a)
-	tag := c.geom.Tag(a)
-	set := c.set(s)
-	for i := range set {
-		b := &set[i]
-		if b.Valid && b.Tag == tag && !(b.CC && b.F) {
-			old = *b
-			c.stats.Invalidations++
-			set[i] = Block{}
-			return old, true
-		}
+	set := c.set(c.Index(a))
+	if w := matchWay(set, c.Tag(a)); w >= 0 {
+		old = set[w]
+		c.stats.Invalidations++
+		set[w] = Block{}
+		return old, true
 	}
 	return Block{}, false
 }

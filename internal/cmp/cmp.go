@@ -76,6 +76,7 @@ type System struct {
 	ctrl    schemes.Controller
 	cores   []*cpu.Core
 	l1      []*cache.Cache
+	paths   []corePath
 	mem     []cpu.MemFunc // per-core hierarchy path, built once
 	streams []isa.Stream
 	names   []string
@@ -109,9 +110,18 @@ func NewSystem(cfg config.System, scheme string, streams []isa.Stream) (*System,
 		s.l1[i] = cache.MustNew(l1Geom, cfg.Mem.L1D.Ways)
 		s.names[i] = streams[i].Name()
 	}
+	s.paths = make([]corePath, cfg.Cores)
 	s.mem = make([]cpu.MemFunc, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		s.mem[i] = s.memFunc(i)
+		s.paths[i] = corePath{
+			ctrl:  ctrl,
+			l1:    s.l1[i],
+			geom:  l1Geom,
+			core:  i,
+			base:  addr.ForCore(i, 0),
+			l1Lat: int64(cfg.Mem.L1Lat),
+		}
+		s.mem[i] = s.paths[i].access
 	}
 	return s, nil
 }
@@ -119,23 +129,32 @@ func NewSystem(cfg config.System, scheme string, streams []isa.Stream) (*System,
 // Controller exposes the scheme controller (tests, reporting).
 func (s *System) Controller() schemes.Controller { return s.ctrl }
 
-// memFunc builds core i's path into the hierarchy: private-address
-// rebasing, L1 lookup, then the scheme controller.
-func (s *System) memFunc(i int) cpu.MemFunc {
-	l1 := s.l1[i]
-	l1Lat := int64(s.cfg.Mem.L1Lat)
-	return func(now int64, a addr.Addr, write bool) int64 {
-		pa := addr.ForCore(i, a)
-		if hit, _ := l1.Lookup(pa, write); hit {
-			return now + l1Lat
-		}
-		done := s.ctrl.Access(i, now+l1Lat, pa, write)
-		v := l1.Insert(pa, cache.Block{Dirty: write, Owner: int8(i)})
-		if v.Valid && v.Dirty {
-			s.ctrl.WritebackL1(i, now, l1.Geometry().Rebuild(v.Tag, l1.Geometry().Index(pa)))
-		}
-		return done
+// corePath is one core's flattened path into the hierarchy: private-address
+// rebasing, L1 lookup, then the scheme controller. The rebase offset, L1
+// hit latency and writeback geometry are precomputed at assembly so the
+// per-access path dereferences one struct instead of walking a closure
+// chain back through the System.
+type corePath struct {
+	ctrl  schemes.Controller
+	l1    *cache.Cache
+	geom  addr.Geometry // L1 geometry, hoisted for the writeback rebuild
+	core  int
+	base  addr.Addr // addr.ForCore(core, 0): OR-able private-space rebase
+	l1Lat int64
+}
+
+// access resolves one data-memory access; it is the System's cpu.MemFunc.
+func (p *corePath) access(now int64, a addr.Addr, write bool) int64 {
+	pa := a | p.base
+	if hit, _ := p.l1.Lookup(pa, write); hit {
+		return now + p.l1Lat
 	}
+	done := p.ctrl.Access(p.core, now+p.l1Lat, pa, write)
+	v := p.l1.Insert(pa, cache.Block{Dirty: write, Owner: int8(p.core)})
+	if v.Valid && v.Dirty {
+		p.ctrl.WritebackL1(p.core, now, p.geom.Rebuild(v.Tag, p.geom.Index(pa)))
+	}
+	return done
 }
 
 // Run advances the system by cycles and returns the result. It may be
@@ -208,25 +227,38 @@ func WorkloadStreams(cfg config.System, benchmarks []string, totalRefs int64) ([
 	return streams, nil
 }
 
-// RunWorkload is the one-call convenience used by the CLI tools, examples
-// and benchmarks: build streams, assemble the system under scheme, run for
-// cycles.
-func RunWorkload(cfg config.System, scheme string, benchmarks []string, cycles int64) (RunResult, error) {
-	// Size the generators' phase cycle to the run: roughly one distinct
-	// touch per L2Every instructions at IPC ~1 means cycles/40 touches; use
-	// cycles/32 so multi-phase workloads (vortex) rotate through all phases
-	// about once per run.
+// PhaseRefs is the generator phase-cycle length RunWorkload derives from a
+// run length. It is exported so callers that build streams themselves (the
+// record/replay cache in internal/experiments, the benchmark harness) stay
+// byte-compatible with RunWorkload's streams: roughly one distinct touch
+// per L2Every instructions at IPC ~1 means cycles/40 touches; cycles/32
+// lets multi-phase workloads (vortex) rotate through all phases about once
+// per run.
+func PhaseRefs(cycles int64) int64 {
 	totalRefs := cycles / 32
 	if totalRefs < 1000 {
 		totalRefs = 1000
 	}
-	streams, err := WorkloadStreams(cfg, benchmarks, totalRefs)
-	if err != nil {
-		return RunResult{}, err
-	}
+	return totalRefs
+}
+
+// RunStreams assembles the system under scheme over pre-built streams
+// (live generators or trace replays) and runs it for cycles.
+func RunStreams(cfg config.System, scheme string, streams []isa.Stream, cycles int64) (RunResult, error) {
 	sys, err := NewSystem(cfg, scheme, streams)
 	if err != nil {
 		return RunResult{}, err
 	}
 	return sys.Run(cycles), nil
+}
+
+// RunWorkload is the one-call convenience used by the CLI tools, examples
+// and benchmarks: build streams, assemble the system under scheme, run for
+// cycles.
+func RunWorkload(cfg config.System, scheme string, benchmarks []string, cycles int64) (RunResult, error) {
+	streams, err := WorkloadStreams(cfg, benchmarks, PhaseRefs(cycles))
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunStreams(cfg, scheme, streams, cycles)
 }

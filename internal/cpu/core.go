@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math"
+
 	"snug/internal/addr"
 	"snug/internal/config"
 	"snug/internal/isa"
@@ -41,6 +43,11 @@ type Core struct {
 	btb  *BTB
 	ras  *RAS
 
+	// Per-kind latencies and queue bounds, widened once at construction so
+	// the per-instruction path does no int64 conversions or config loads.
+	aluLat, fpLat, multLat, divLat, loadLat int64
+	lsqSize                                 int
+
 	clock      int64 // dispatch cycle of the most recent instruction
 	fetchAvail int64 // earliest dispatch after a fetch redirect
 
@@ -53,7 +60,7 @@ type Core struct {
 	commitAt   int64
 	commitCnt  int
 
-	lsq []int64 // completion times of outstanding memory ops
+	lsq []int64 // outstanding memory-op completion times; compacted lazily
 
 	prevComplete int64
 
@@ -69,6 +76,12 @@ func NewCore(cfg config.Core) *Core {
 		ras:        NewRAS(cfg.RASEntries),
 		commitRing: make([]int64, cfg.RUUSize),
 		lsq:        make([]int64, 0, cfg.LSQSize),
+		aluLat:     int64(cfg.ALULat),
+		fpLat:      int64(cfg.FPLat),
+		multLat:    int64(cfg.MultLat),
+		divLat:     int64(cfg.DivLat),
+		loadLat:    int64(cfg.LoadLat),
+		lsqSize:    cfg.LSQSize,
 	}
 }
 
@@ -140,22 +153,22 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	var complete int64
 	switch in.Kind {
 	case isa.KindALU:
-		complete = start + int64(cfg.ALULat)
+		complete = start + c.aluLat
 	case isa.KindFPU:
-		complete = start + int64(cfg.FPLat)
+		complete = start + c.fpLat
 	case isa.KindMult:
-		complete = start + int64(cfg.MultLat)
+		complete = start + c.multLat
 	case isa.KindDiv:
-		complete = start + int64(cfg.DivLat)
+		complete = start + c.divLat
 	case isa.KindLoad:
-		complete = mem(start+int64(cfg.LoadLat), in.Addr, false)
-		c.lsq = append(c.lsq, complete)
+		complete = mem(start+c.loadLat, in.Addr, false)
+		c.pushLSQ(complete)
 	case isa.KindStore:
-		done := mem(start+int64(cfg.LoadLat), in.Addr, true)
-		c.lsq = append(c.lsq, done)
+		done := mem(start+c.loadLat, in.Addr, true)
+		c.pushLSQ(done)
 		complete = start + 1 // posted through the store buffer
 	case isa.KindBranch:
-		complete = start + int64(cfg.ALULat)
+		complete = start + c.aluLat
 		mispred := c.pred.Update(in.PC, in.Taken)
 		if in.Taken && !c.btb.LookupInsert(in.PC) {
 			mispred = true
@@ -164,18 +177,18 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 			c.redirect(complete)
 		}
 	case isa.KindCall:
-		complete = start + int64(cfg.ALULat)
+		complete = start + c.aluLat
 		c.ras.Push(in.PC + 4)
 		if !c.btb.LookupInsert(in.PC) {
 			c.redirect(complete)
 		}
 	case isa.KindReturn:
-		complete = start + int64(cfg.ALULat)
+		complete = start + c.aluLat
 		if !c.ras.Pop(in.Target) {
 			c.redirect(complete)
 		}
 	default:
-		complete = start + int64(cfg.ALULat)
+		complete = start + c.aluLat
 	}
 	c.prevComplete = complete
 
@@ -217,33 +230,53 @@ func (c *Core) redirect(resolved int64) {
 // reserveLSQ frees completed LSQ entries as of cycle e and, if the queue is
 // still full, stalls until the earliest outstanding completion. It returns
 // the (possibly delayed) dispatch cycle.
+//
+// The queue is an unsorted completion-time buffer compacted lazily:
+// completed entries are dropped only when the buffer reaches capacity.
+// That is exact — the un-compacted length only overcounts the live
+// occupancy, so a buffer below capacity proves the true queue is below
+// capacity too, and compacting at capacity reveals the true state before
+// any stall is charged; the stall target (minimum outstanding completion)
+// falls out of the same linear pass as a running minimum. The previous
+// code paid two O(n) compactions plus an O(n) min scan on every memory op;
+// this path is a length check in the common case and one predictable
+// linear pass per capacity-fill, amortizing to ~1 slot move per push when
+// most entries are short-lived.
 func (c *Core) reserveLSQ(e int64) int64 {
-	c.releaseLSQ(e)
-	if len(c.lsq) < c.cfg.LSQSize {
+	if len(c.lsq) < c.lsqSize {
 		return e
 	}
-	min := c.lsq[0]
-	for _, t := range c.lsq[1:] {
-		if t < min {
-			min = t
-		}
+	min := c.compactLSQ(e)
+	if len(c.lsq) < c.lsqSize {
+		return e
 	}
-	if min > e {
-		c.stats.LSQStall += min - e
-		e = min
-	}
-	c.releaseLSQ(e)
+	// Full of live entries, which all complete after e, so min > e.
+	c.stats.LSQStall += min - e
+	e = min
+	c.compactLSQ(e)
 	return e
 }
 
-// releaseLSQ drops entries whose memory operation completed by cycle e.
-func (c *Core) releaseLSQ(e int64) {
+// compactLSQ drops entries whose memory operation completed by cycle e,
+// returning the minimum surviving completion time (MaxInt64 when none).
+func (c *Core) compactLSQ(e int64) int64 {
+	q := c.lsq
 	w := 0
-	for _, t := range c.lsq {
+	min := int64(math.MaxInt64)
+	for _, t := range q {
 		if t > e {
-			c.lsq[w] = t
+			q[w] = t
 			w++
+			if t < min {
+				min = t
+			}
 		}
 	}
-	c.lsq = c.lsq[:w]
+	c.lsq = q[:w]
+	return min
+}
+
+// pushLSQ records an outstanding completion time.
+func (c *Core) pushLSQ(t int64) {
+	c.lsq = append(c.lsq, t)
 }

@@ -15,6 +15,7 @@ import (
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/isa"
 	"snug/internal/metrics"
 	"snug/internal/schemes"
 	"snug/internal/stats"
@@ -55,6 +56,13 @@ type Options struct {
 	// exact output and checkpoint keys). Schemes stay paired within each
 	// replicate, and the figures report mean ± 95% CI across replicates.
 	Replicates int
+	// NoReplay disables the trace record/replay cache and regenerates each
+	// run's instruction streams live, as releases before the cache did. The
+	// default (replay on) records every (combo, replicate) cell's streams
+	// once and replays them to all of the cell's schemes — bit-identical
+	// results, several× less stream-synthesis work. The switch exists for
+	// A/B-ing exactly that claim (cmd/experiments -replay=false).
+	NoReplay bool
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
@@ -203,9 +211,13 @@ func jobKey(combo, label string) string { return combo + "/" + label }
 
 // comboJobs appends one combo's runs — the L2P baseline plus every spec —
 // to jobs. All of a combo's runs share its name as SeedKey, so every scheme
-// sees identical instruction streams (paired comparisons).
-func comboJobs(jobs []sweep.Job, cfg config.System, combo workloads.Combo, specs []schemes.Spec, cycles int64) []sweep.Job {
-	for _, spec := range append([]schemes.Spec{baselineSpec}, specs...) {
+// sees identical instruction streams (paired comparisons). With a stream
+// cache, the streams are synthesized once per (combo, replicate) cell and
+// replayed to every scheme; cache == nil regenerates them live per run.
+func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo workloads.Combo, specs []schemes.Spec, cycles int64) []sweep.Job {
+	all := append([]schemes.Spec{baselineSpec}, specs...)
+	uses := len(all)
+	for _, spec := range all {
 		label := spec.String()
 		jobs = append(jobs, sweep.Job{
 			Key:     jobKey(combo.Name, label),
@@ -213,7 +225,16 @@ func comboJobs(jobs []sweep.Job, cfg config.System, combo workloads.Combo, specs
 			Run: func(seed uint64) (cmp.RunResult, error) {
 				c := cfg
 				c.Seed = seed
-				return cmp.RunWorkload(c, label, combo.Cores, cycles)
+				if cache == nil {
+					return cmp.RunWorkload(c, label, combo.Cores, cycles)
+				}
+				streams, err := cache.streams(seed, uses, func() ([]isa.Stream, error) {
+					return cmp.WorkloadStreams(c, combo.Cores, cmp.PhaseRefs(cycles))
+				})
+				if err != nil {
+					return cmp.RunResult{}, err
+				}
+				return cmp.RunStreams(c, label, streams, cycles)
 			},
 		})
 	}
@@ -286,10 +307,14 @@ func Evaluate(opt Options) (*Evaluation, error) {
 	}
 
 	ev := &Evaluation{Options: opt, Combos: make([]ComboResult, len(combos)), Replicates: reps}
+	var cache *streamCache
+	if !opt.NoReplay {
+		cache = newStreamCache()
+	}
 	var jobs []sweep.Job
 	for i, combo := range combos {
 		ev.Combos[i] = ComboResult{Combo: combo}
-		jobs = comboJobs(jobs, opt.Cfg, combo, specs, opt.RunCycles)
+		jobs = comboJobs(jobs, cache, opt.Cfg, combo, specs, opt.RunCycles)
 	}
 
 	fp, legacy, err := fingerprint(opt)

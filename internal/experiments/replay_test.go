@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"snug/internal/config"
+)
+
+// replayOpts is a small but structurally complete evaluation: one class,
+// two scheme families plus the CC spill sweep and the L2P baseline.
+func replayOpts(t *testing.T, checkpoint string, noReplay bool, reps int) Options {
+	t.Helper()
+	return Options{
+		Cfg:         config.TestScale(),
+		RunCycles:   150_000,
+		Parallelism: 1, // checkpoint lines append in completion order; serialize for byte-comparable stores
+		Classes:     []string{"C1"},
+		Schemes:     []string{"CC", "SNUG"},
+		Checkpoint:  checkpoint,
+		Replicates:  reps,
+		NoReplay:    noReplay,
+	}
+}
+
+// TestEvaluateReplayStoreByteIdentical is the tentpole's acceptance bar:
+// an evaluation over recorded-replayed streams must write a checkpoint
+// store byte-identical to one simulated over live generators — same keys,
+// same results, same order — both single-run and replicated (replicate
+// r > 0 records its own streams).
+func TestEvaluateReplayStoreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full evaluations; skipped in -short")
+	}
+	for _, reps := range []int{1, 2} {
+		dir := t.TempDir()
+		livePath := filepath.Join(dir, "live.json")
+		replayPath := filepath.Join(dir, "replay.json")
+		if _, err := Evaluate(replayOpts(t, livePath, true, reps)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Evaluate(replayOpts(t, replayPath, false, reps)); err != nil {
+			t.Fatal(err)
+		}
+		live, err := os.ReadFile(livePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := os.ReadFile(replayPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(live) != string(replay) {
+			t.Errorf("reps=%d: replay-on checkpoint store differs from live-generator store\nlive:\n%s\nreplay:\n%s",
+				reps, live, replay)
+		}
+	}
+}
+
+// TestEvaluateReplayResultsMatchParallel checks replay keeps the sweep's
+// parallelism-independence: a parallel replayed evaluation (schemes of one
+// cell share recordings across workers) equals the serial live one.
+func TestEvaluateReplayResultsMatchParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired full evaluations; skipped in -short")
+	}
+	serialLive, err := Evaluate(replayOpts(t, "", true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := replayOpts(t, "", false, 1)
+	opts.Parallelism = 4
+	parallelReplay, err := Evaluate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range serialLive.Combos {
+		pr := parallelReplay.Combos[i]
+		for label, run := range cr.Runs {
+			if got := pr.Runs[label]; !reflect.DeepEqual(got, run) {
+				t.Errorf("combo %s run %s: parallel replay result differs from serial live", cr.Combo.Name, label)
+			}
+		}
+	}
+}

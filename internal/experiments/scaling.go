@@ -32,6 +32,9 @@ type ScalingOptions struct {
 	// (width, combo, scheme) cell runs this many independently-seeded
 	// times, and Series reports mean ± 95% CI per width.
 	Replicates int
+	// NoReplay has the same semantics as Options.NoReplay: disable the
+	// trace record/replay cache and synthesize every run's streams live.
+	NoReplay bool
 }
 
 // ScalingPoint is the evaluation at one core count.
@@ -94,6 +97,10 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 	}
 
 	res := &ScalingResult{Options: opt, Points: make([]ScalingPoint, len(opt.CoreCounts)), Replicates: reps}
+	var cache *streamCache
+	if !opt.NoReplay {
+		cache = newStreamCache()
+	}
 	var jobs []sweep.Job
 	seen := map[int]bool{}
 	for i, n := range opt.CoreCounts {
@@ -115,7 +122,7 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 		res.Points[i] = ScalingPoint{Cores: n, Cfg: cfg, Combos: make([]ComboResult, len(combos))}
 		for j, combo := range combos {
 			res.Points[i].Combos[j] = ComboResult{Combo: combo}
-			jobs = comboJobs(jobs, cfg, combo, specs, opt.RunCycles)
+			jobs = comboJobs(jobs, cache, cfg, combo, specs, opt.RunCycles)
 		}
 	}
 

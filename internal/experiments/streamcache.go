@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"sync"
+
+	"snug/internal/isa"
+	"snug/internal/trace"
+)
+
+// streamCache shares recorded instruction streams across the jobs of one
+// sweep. The evaluation's paired-comparison structure regenerates the same
+// streams once per scheme: every job of one (combo, replicate) cell shares
+// a SeedKey, so each of the cell's 5+ scheme runs used to re-synthesize an
+// identical instruction stream from scratch. The cache records the streams
+// on the cell's first run and hands every later run allocation-free replay
+// cursors instead (see internal/trace's record/replay subsystem).
+//
+// Entries are keyed by the cell's derived job seed: within one sweep the
+// seed is a pure function of the cell identity (sweep.JobSeed over the
+// replicate-suffixed SeedKey), and the streams are a pure function of
+// (config, benchmarks, seed, phase length) — all captured by the job
+// closure — so equal seeds imply equal streams. Replicates therefore get
+// their own recordings for free: replicate r > 0 derives a different seed.
+//
+// Memory stays bounded by in-flight cells: each cell declares how many
+// jobs will request it, and the entry is dropped from the cache when the
+// last one has (outstanding replay cursors keep the recording alive until
+// their runs finish). Cells partially restored from a checkpoint decrement
+// fewer times and are retained until the sweep ends — bounded by the cell
+// count, and only for resumed sweeps.
+type streamCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*streamCacheEntry
+}
+
+type streamCacheEntry struct {
+	recs      []*trace.Recording
+	remaining int
+}
+
+func newStreamCache() *streamCache {
+	return &streamCache{entries: make(map[uint64]*streamCacheEntry)}
+}
+
+// streams returns one replay cursor per core stream for the cell keyed by
+// seed, recording from freshly built live streams on the cell's first call.
+// uses is the total number of jobs that will request this seed; build must
+// construct the cell's live generator streams.
+func (sc *streamCache) streams(seed uint64, uses int, build func() ([]isa.Stream, error)) ([]isa.Stream, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e := sc.entries[seed]
+	if e == nil {
+		live, err := build()
+		if err != nil {
+			return nil, err
+		}
+		e = &streamCacheEntry{recs: trace.RecordAll(live), remaining: uses}
+		sc.entries[seed] = e
+	}
+	e.remaining--
+	if e.remaining <= 0 {
+		delete(sc.entries, seed)
+	}
+	return trace.Replays(e.recs), nil
+}

@@ -1,0 +1,356 @@
+// Trace record/replay: capture a generator's emitted instruction stream
+// once into a compact in-memory buffer and re-serve it, allocation-free,
+// to any number of consumers.
+//
+// The evaluation sweep re-simulates every workload combination under
+// several schemes and, since replicated sweeps, several replicates — all
+// over the *same* paired-seed instruction streams. A generator's stream is
+// a pure function of its construction parameters and is independent of
+// simulation timing (the generator takes no feedback from the core or the
+// caches), so the expensive synthesis work — RNG draws, phase bookkeeping,
+// set and stack-distance selection — can be paid once per stream and
+// amortized across every scheme that replays it.
+//
+// A Recording wraps a live source stream and memoizes its output into
+// fixed-size chunks of a byte-oriented struct-of-arrays encoding:
+//
+//	meta byte   kind (4 bits) | DepPrev | Taken
+//	pc          zig-zag varint delta against the previous instruction's PC
+//	addr        zig-zag varint delta (loads/stores only)
+//	target      zig-zag varint delta (returns only)
+//
+// Sequential PCs advance by 4, so the common case costs two bytes per
+// instruction (~10x smaller than raw isa.Instr values). Recording is lazy:
+// a Replay cursor that runs past the recorded prefix extends the recording
+// from the live source, so no a-priori bound on the consumed stream length
+// is needed — schemes with different IPCs naturally consume different
+// prefixes of one shared recording.
+//
+// Concurrency: Replay cursors from different goroutines may share one
+// Recording (the sweep runs a combination's schemes in parallel).
+// Extension is serialized by a mutex; published state is advertised with
+// atomics (bytes are written before the per-chunk byte count, which is
+// written before the global instruction count, so a reader that observes
+// the instruction count observes the bytes behind it). Chunk buffers are
+// allocated at full, fixed length and an instruction never spans chunks,
+// so published bytes are immutable.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snug/internal/addr"
+	"snug/internal/isa"
+)
+
+const (
+	// chunkBytes is the fixed chunk-buffer size.
+	chunkBytes = 1 << 16
+	// maxInstrBytes bounds one encoded instruction (meta + three worst-case
+	// 10-byte varints); a chunk with less remaining space is closed.
+	maxInstrBytes = 31
+	// extendBatch is how many instructions one extension appends. Large
+	// enough to amortize the lock, small enough that the first consumer of
+	// a fresh recording is not held up synthesizing a huge prefix.
+	extendBatch = 4096
+)
+
+// chunk is one fixed-capacity span of the encoded stream. buf has full
+// length from construction and is only appended to in place, so readers may
+// index any prefix published through used.
+type chunk struct {
+	buf  []byte
+	used atomic.Int64 // published encoded bytes
+}
+
+// Recording memoizes a source stream's instructions in encoded chunks. Use
+// NewRecording, then serve consumers with Replay cursors.
+type Recording struct {
+	mu   sync.Mutex
+	src  isa.Stream // consumed under mu
+	name string
+
+	// Encoder state, under mu.
+	cur        *chunk
+	curPos     int
+	encPC      uint64
+	encAddr    uint64
+	encTarget  uint64
+	totalBytes int64
+
+	chunks atomic.Pointer[[]*chunk] // grow-only; replaced wholesale on append
+	filled atomic.Int64             // published instruction count
+}
+
+// NewRecording wraps src in a lazily-extended recording. src must not be
+// advanced by anyone else afterwards: the recording owns it.
+func NewRecording(src isa.Stream) *Recording {
+	r := &Recording{src: src, name: src.Name()}
+	r.cur = &chunk{buf: make([]byte, chunkBytes)}
+	chunks := []*chunk{r.cur}
+	r.chunks.Store(&chunks)
+	return r
+}
+
+// Record eagerly records the next n instructions of src on top of whatever
+// extension has already happened. It is a test/benchmark convenience; the
+// sweep path relies on lazy extension instead.
+func (r *Recording) Record(n int64) {
+	for r.filled.Load() < n {
+		r.extend()
+	}
+}
+
+// Name returns the source stream's name.
+func (r *Recording) Name() string { return r.name }
+
+// Len returns the number of instructions recorded so far.
+func (r *Recording) Len() int64 { return r.filled.Load() }
+
+// Bytes returns the encoded size of the recording so far.
+func (r *Recording) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalBytes
+}
+
+// Replay returns a new cursor positioned at the start of the stream. Each
+// simulated core needs its own cursor; cursors are not goroutine-safe but
+// distinct cursors over one Recording are.
+func (r *Recording) Replay() *Replay {
+	chunks := *r.chunks.Load()
+	return &Replay{rec: r, chunks: chunks, buf: chunks[0].buf}
+}
+
+// extend appends one batch of instructions from the source stream.
+func (r *Recording) extend() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var in isa.Instr
+	for i := 0; i < extendBatch; i++ {
+		r.src.Next(&in)
+		r.encode(&in)
+	}
+	r.cur.used.Store(int64(r.curPos))
+	r.filled.Add(extendBatch)
+}
+
+// encode appends one instruction to the current chunk, closing it and
+// opening a new one when it cannot hold a worst-case instruction.
+func (r *Recording) encode(in *isa.Instr) {
+	if r.curPos > chunkBytes-maxInstrBytes {
+		r.cur.used.Store(int64(r.curPos))
+		r.cur = &chunk{buf: make([]byte, chunkBytes)}
+		r.curPos = 0
+		old := *r.chunks.Load()
+		chunks := make([]*chunk, len(old)+1)
+		copy(chunks, old)
+		chunks[len(old)] = r.cur
+		r.chunks.Store(&chunks)
+	}
+	buf := r.cur.buf
+	pos := r.curPos
+	meta := byte(in.Kind)
+	if in.DepPrev {
+		meta |= metaDepPrev
+	}
+	if in.Taken {
+		meta |= metaTaken
+	}
+	if in.PC == r.encPC+4 {
+		// Straight-line fetch — the overwhelmingly common case: fold the
+		// +4 PC advance into the meta byte and skip the varint entirely.
+		buf[pos] = meta | metaSeqPC
+		pos++
+	} else {
+		buf[pos] = meta
+		pos++
+		pos = putUvarint(buf, pos, zig(in.PC-r.encPC))
+	}
+	r.encPC = in.PC
+	switch in.Kind {
+	case isa.KindLoad, isa.KindStore:
+		a := uint64(in.Addr)
+		pos = putUvarint(buf, pos, zig(a-r.encAddr))
+		r.encAddr = a
+	case isa.KindReturn:
+		pos = putUvarint(buf, pos, zig(in.Target-r.encTarget))
+		r.encTarget = in.Target
+	}
+	r.totalBytes += int64(pos - r.curPos)
+	r.curPos = pos
+}
+
+// meta-byte layout: low 4 bits hold the kind, then one bit per flag.
+// metaSeqPC marks a straight-line PC (previous + 4) carried by the meta
+// byte itself, with no PC varint following.
+const (
+	metaKindMask = 0x0f
+	metaDepPrev  = 1 << 4
+	metaTaken    = 1 << 5
+	metaSeqPC    = 1 << 6
+)
+
+// Replay is a sequential cursor over a Recording, implementing isa.Stream.
+// Next is allocation-free; when the cursor catches up with the recorded
+// prefix it extends the recording from the live source.
+type Replay struct {
+	rec    *Recording
+	chunks []*chunk // snapshot of the recording's chunk list
+	ci     int      // index of the current chunk in chunks
+	buf    []byte   // chunks[ci].buf
+	off    int      // decode position in buf
+	used   int      // cached published byte count of the current chunk
+
+	pos   int64 // instructions decoded
+	limit int64 // cached published instruction count
+
+	prevPC     uint64
+	prevAddr   uint64
+	prevTarget uint64
+}
+
+// Name implements isa.Stream.
+func (p *Replay) Name() string { return p.rec.name }
+
+// Pos returns the number of instructions served so far.
+func (p *Replay) Pos() int64 { return p.pos }
+
+// Next implements isa.Stream, decoding the next recorded instruction.
+func (p *Replay) Next(in *isa.Instr) {
+	if p.pos >= p.limit {
+		p.moreInstructions()
+	}
+	if p.off >= p.used {
+		p.moreBytes()
+	}
+	buf := p.buf
+	off := p.off
+	meta := buf[off]
+	off++
+	var pc uint64
+	if meta&metaSeqPC != 0 {
+		pc = p.prevPC + 4
+	} else {
+		var d uint64
+		if b := buf[off]; b < 0x80 { // inline uvarint fast path
+			d, off = uint64(b), off+1
+		} else {
+			d, off = uvarint(buf, off)
+		}
+		pc = p.prevPC + zag(d)
+	}
+	p.prevPC = pc
+	kind := isa.Kind(meta & metaKindMask)
+	in.Kind = kind
+	in.PC = pc
+	in.DepPrev = meta&metaDepPrev != 0
+	in.Taken = meta&metaTaken != 0
+	in.Addr = 0
+	in.Target = 0
+	switch kind {
+	case isa.KindLoad, isa.KindStore:
+		d, o := uvarint(buf, off)
+		off = o
+		a := p.prevAddr + zag(d)
+		p.prevAddr = a
+		in.Addr = addr.Addr(a)
+	case isa.KindReturn:
+		d, o := uvarint(buf, off)
+		off = o
+		t := p.prevTarget + zag(d)
+		p.prevTarget = t
+		in.Target = t
+	}
+	p.off = off
+	p.pos++
+}
+
+// moreInstructions refreshes the published-instruction limit, extending the
+// recording from its source when the cursor has truly caught up.
+func (p *Replay) moreInstructions() {
+	for {
+		if l := p.rec.filled.Load(); l > p.pos {
+			p.limit = l
+			return
+		}
+		p.rec.extend()
+	}
+}
+
+// moreBytes refreshes the current chunk's published byte count or advances
+// to the next chunk. It is only called with published instructions ahead of
+// the cursor (pos < limit), so the bytes exist: either the current chunk
+// has grown, or it was closed and the stream continues in the next one.
+func (p *Replay) moreBytes() {
+	if used := int(p.chunks[p.ci].used.Load()); used > p.off {
+		p.used = used
+		return
+	}
+	p.ci++
+	if p.ci >= len(p.chunks) {
+		p.chunks = *p.rec.chunks.Load()
+	}
+	c := p.chunks[p.ci]
+	p.buf = c.buf
+	p.off = 0
+	p.used = int(c.used.Load())
+}
+
+// RecordAll wraps each stream in a Recording, preserving order.
+func RecordAll(streams []isa.Stream) []*Recording {
+	recs := make([]*Recording, len(streams))
+	for i, s := range streams {
+		recs[i] = NewRecording(s)
+	}
+	return recs
+}
+
+// Replays returns a fresh cursor per recording, as a stream slice ready for
+// cmp.NewSystem.
+func Replays(recs []*Recording) []isa.Stream {
+	streams := make([]isa.Stream, len(recs))
+	for i, r := range recs {
+		streams[i] = r.Replay()
+	}
+	return streams
+}
+
+// zig maps a signed delta (carried as a wrapping uint64 difference) to the
+// zig-zag encoding, keeping small negative deltas small.
+func zig(d uint64) uint64 {
+	return (d << 1) ^ uint64(int64(d)>>63)
+}
+
+// zag inverts zig.
+func zag(u uint64) uint64 {
+	return (u >> 1) ^ -(u & 1)
+}
+
+// putUvarint writes v in LEB128 at buf[off:], returning the new offset.
+func putUvarint(buf []byte, off int, v uint64) int {
+	for v >= 0x80 {
+		buf[off] = byte(v) | 0x80
+		v >>= 7
+		off++
+	}
+	buf[off] = byte(v)
+	return off + 1
+}
+
+// uvarint reads a LEB128 value at buf[off:], returning it and the new
+// offset. Encoded values are bounded by putUvarint, so no overflow checks.
+func uvarint(buf []byte, off int) (uint64, int) {
+	var v uint64
+	var s uint
+	for {
+		b := buf[off]
+		off++
+		if b < 0x80 {
+			return v | uint64(b)<<s, off
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"snug/internal/addr"
+	"snug/internal/isa"
+)
+
+// recGeom mirrors the test-scale L2 slice geometry.
+var recGeom = addr.MustGeometry(64, 64)
+
+// newTestGen builds a fresh generator for the named profile and seed.
+func newTestGen(t *testing.T, name string, seed uint64) *Generator {
+	t.Helper()
+	prof, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(prof, recGeom, seed, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestReplayMatchesLiveStream is the subsystem's core contract: a replay
+// serves exactly the instructions the live generator would have produced,
+// field for field, across phase transitions and every instruction kind.
+func TestReplayMatchesLiveStream(t *testing.T) {
+	for _, name := range []string{"ammp", "vortex", "mcf", "swim"} {
+		live := newTestGen(t, name, 42)
+		rec := NewRecording(newTestGen(t, name, 42))
+		rp := rec.Replay()
+		var want, got isa.Instr
+		for i := 0; i < 300_000; i++ {
+			live.Next(&want)
+			rp.Next(&got)
+			if got != want {
+				t.Fatalf("%s: instruction %d: replay %+v, live %+v", name, i, got, want)
+			}
+		}
+		if rp.Pos() != 300_000 {
+			t.Errorf("%s: Pos() = %d, want 300000", name, rp.Pos())
+		}
+	}
+}
+
+// TestReplayCursorsIndependent checks that cursors over one recording do
+// not disturb each other: a second cursor started later sees the stream
+// from the beginning.
+func TestReplayCursorsIndependent(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "parser", 7))
+	a := rec.Replay()
+	var in isa.Instr
+	first := make([]isa.Instr, 1000)
+	for i := range first {
+		a.Next(&first[i])
+	}
+	// Drain a further ahead, then start b from scratch.
+	for i := 0; i < 100_000; i++ {
+		a.Next(&in)
+	}
+	b := rec.Replay()
+	for i := range first {
+		b.Next(&in)
+		if in != first[i] {
+			t.Fatalf("instruction %d: second cursor %+v, first cursor %+v", i, in, first[i])
+		}
+	}
+}
+
+// TestReplayConcurrent runs several cursors over one shared recording from
+// different goroutines (the sweep's scheme-parallel shape) and checks every
+// cursor decodes the identical stream. Run under -race this also validates
+// the publication protocol.
+func TestReplayConcurrent(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "ammp", 99))
+	const n = 120_000
+	want := make([]isa.Instr, n)
+	ref := rec.Replay()
+	for i := range want {
+		ref.Next(&want[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rp := rec.Replay()
+			var in isa.Instr
+			for i := 0; i < n; i++ {
+				rp.Next(&in)
+				if in != want[i] {
+					errs <- "cursor diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestReplayConcurrentLazyExtension has racing cursors drive extension
+// themselves (no pre-recorded prefix), exercising extension under
+// contention rather than read-after-publish only.
+func TestReplayConcurrentLazyExtension(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "vortex", 3))
+	const n = 80_000
+	var wg sync.WaitGroup
+	sums := make([]uint64, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rp := rec.Replay()
+			var in isa.Instr
+			var sum uint64
+			for i := 0; i < n; i++ {
+				rp.Next(&in)
+				sum = sum*1099511628211 + in.PC ^ uint64(in.Kind)<<56 ^ uint64(in.Addr)
+			}
+			sums[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(sums); w++ {
+		if sums[w] != sums[0] {
+			t.Fatalf("cursor %d decoded a different stream (digest %x, want %x)", w, sums[w], sums[0])
+		}
+	}
+}
+
+// TestRecordingCompact pins the encoding's space advantage: the paper-model
+// streams are dominated by sequential-PC filler, so the recording must stay
+// well under 4 bytes per instruction (raw isa.Instr is 40).
+func TestRecordingCompact(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "ammp", 5))
+	rec.Record(200_000)
+	n, bytes := rec.Len(), rec.Bytes()
+	if n < 200_000 {
+		t.Fatalf("recorded %d instructions, want >= 200000", n)
+	}
+	perInstr := float64(bytes) / float64(n)
+	if perInstr >= 4 {
+		t.Errorf("encoding uses %.2f bytes/instruction, want < 4", perInstr)
+	}
+	t.Logf("%d instructions in %d bytes (%.2f B/instr)", n, bytes, perInstr)
+}
+
+// TestRecordingLazy checks extension happens on demand, not eagerly.
+func TestRecordingLazy(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "gzip", 11))
+	if rec.Len() != 0 {
+		t.Fatalf("fresh recording has %d instructions, want 0", rec.Len())
+	}
+	rp := rec.Replay()
+	var in isa.Instr
+	rp.Next(&in)
+	got := rec.Len()
+	if got <= 0 || got > 4*extendBatch {
+		t.Errorf("after one Next, recording holds %d instructions, want one small batch", got)
+	}
+}
+
+// BenchmarkReplayNext measures the replay decode hot path.
+func BenchmarkReplayNext(b *testing.B) {
+	prof, err := ByName("ammp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGenerator(prof, recGeom, 42, 50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := NewRecording(g)
+	rec.Record(int64(1_000_000))
+	rp := rec.Replay()
+	var in isa.Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rp.Pos() >= 1_000_000 {
+			rp = rec.Replay() // stay inside the pre-recorded prefix
+		}
+		rp.Next(&in)
+	}
+}
