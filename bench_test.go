@@ -189,3 +189,13 @@ func BenchmarkSweepEngine(b *testing.B) {
 // with cmd/bench's machine-readable baseline.
 func BenchmarkSimulatorSpeed(b *testing.B)     { bench.SimulatorSpeed(b) }
 func BenchmarkSimulatorSpeedLive(b *testing.B) { bench.SimulatorSpeedLive(b) }
+
+// BenchmarkSNUG16Core tracks replayed 16-core scale-out throughput — the
+// shape where the CC occupancy index collapses the per-miss broadcast from
+// O(cores × ways) set scans to a counter check per peer.
+func BenchmarkSNUG16Core(b *testing.B) { bench.SNUG16Core(b) }
+
+// The layout microbenchmarks pin the packed cache array and the bus
+// calendar directly (bodies in internal/bench, gated by cmd/bench -check).
+func BenchmarkCacheOps(b *testing.B)      { bench.CacheOps(b) }
+func BenchmarkBusContention(b *testing.B) { bench.BusContention(b) }

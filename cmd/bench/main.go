@@ -1,15 +1,17 @@
 // Command bench runs the repository's headline performance benchmarks
-// (internal/bench: SimulatorSpeed, SimulatorSpeedLive, SchemeSNUG,
+// (internal/bench: SimulatorSpeed, SimulatorSpeedLive, SNUG16Core, the
+// CacheOps/BusContention layout microbenchmarks, SchemeSNUG,
 // Figure9Throughput) outside `go test`, writing a machine-readable
 // baseline so the perf trajectory across PRs lives in version control —
-// BENCH_PR4.json is the first point — and checking the current machine
-// against a committed baseline as a CI regression gate.
+// BENCH_PR4.json is the first point, BENCH_PR5.json the current gate —
+// and checking the current machine against a committed baseline as a CI
+// regression gate over the rate metrics (sim-cycles/s, ops/s).
 //
 // Usage:
 //
-//	bench -out BENCH_PR4.json                      # write a new baseline (all benchmarks)
+//	bench -out BENCH_PR5.json                      # write a new baseline (all benchmarks)
 //	bench -out quick.json -bench SimulatorSpeed    # subset
-//	bench -check BENCH_PR4.json -tolerance 0.30    # fail if sim-cycles/s regressed >30%
+//	bench -check BENCH_PR5.json -tolerance 0.30    # fail if a rate metric regressed >30%
 package main
 
 import (
@@ -44,8 +46,16 @@ type Baseline struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// simCyclesMetric is the regression-gated metric.
-const simCyclesMetric = "sim-cycles/s"
+// simCyclesMetric is the headline regression-gated metric; opsMetric gates
+// the layout microbenchmarks (CacheOps, BusContention). Both are rates —
+// higher is better — and -check compares whichever a benchmark reports.
+const (
+	simCyclesMetric = "sim-cycles/s"
+	opsMetric       = "ops/s"
+)
+
+// gateMetrics lists the rate metrics -check compares, in display order.
+var gateMetrics = []string{simCyclesMetric, opsMetric}
 
 func main() {
 	err := run(os.Args[1:], os.Stdout, os.Stderr)
@@ -161,9 +171,10 @@ func lookup(name string) (func(*testing.B), error) {
 	return nil, fmt.Errorf("unknown benchmark %q (want a subset of %s)", name, strings.Join(known, ","))
 }
 
-// checkBaseline compares measured sim-cycles/s against the baseline,
-// failing on a regression beyond the tolerance. Benchmarks without the
-// metric (or absent from the baseline) are reported but not gated.
+// checkBaseline compares the measured rate metrics (sim-cycles/s, ops/s)
+// against the baseline, failing on a regression beyond the tolerance.
+// Benchmarks without any gated metric (or absent from the baseline) are
+// reported but not gated.
 func checkBaseline(stdout io.Writer, path string, base Baseline, results map[string]Result, tolerance float64) error {
 	var failures []string
 	compared := 0
@@ -173,19 +184,25 @@ func checkBaseline(stdout io.Writer, path string, base Baseline, results map[str
 			fmt.Fprintf(stdout, "%s: not in baseline %s; skipping\n", name, path)
 			continue
 		}
-		baseRate, ok := want.Metrics[simCyclesMetric]
-		rate, ok2 := res.Metrics[simCyclesMetric]
-		if !ok || !ok2 {
-			fmt.Fprintf(stdout, "%s: no %s metric to compare; skipping\n", name, simCyclesMetric)
-			continue
+		matched := false
+		for _, metric := range gateMetrics {
+			baseRate, ok := want.Metrics[metric]
+			rate, ok2 := res.Metrics[metric]
+			if !ok || !ok2 {
+				continue
+			}
+			matched = true
+			compared++
+			ratio := rate / baseRate
+			fmt.Fprintf(stdout, "%s: %.0f %s vs baseline %.0f (%.2fx)\n", name, rate, metric, baseRate, ratio)
+			if ratio < 1-tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s regressed: %.0f %s vs baseline %.0f (%.1f%% below, tolerance %.0f%%)",
+					name, rate, metric, baseRate, (1-ratio)*100, tolerance*100))
+			}
 		}
-		compared++
-		ratio := rate / baseRate
-		fmt.Fprintf(stdout, "%s: %.0f %s vs baseline %.0f (%.2fx)\n", name, rate, simCyclesMetric, baseRate, ratio)
-		if ratio < 1-tolerance {
-			failures = append(failures, fmt.Sprintf(
-				"%s regressed: %.0f %s vs baseline %.0f (%.1f%% below, tolerance %.0f%%)",
-				name, rate, simCyclesMetric, baseRate, (1-ratio)*100, tolerance*100))
+		if !matched {
+			fmt.Fprintf(stdout, "%s: no gated rate metric to compare; skipping\n", name)
 		}
 	}
 	if len(failures) > 0 {

@@ -75,6 +75,32 @@ func TestCheckDetectsRegression(t *testing.T) {
 	}
 }
 
+// TestCheckGatesOpsMetric: the microbenchmarks report ops/s rather than
+// sim-cycles/s and must be gated through the same comparison.
+func TestCheckGatesOpsMetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "ops.json")
+	base := Baseline{Benchmarks: map[string]Result{
+		"CacheOps": {Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"ops/s": 1e18}},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-check", path, "-bench", "CacheOps"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("check passed against an impossibly fast ops/s baseline")
+	}
+	if !strings.Contains(err.Error(), "ops/s") {
+		t.Errorf("error %q does not name the ops/s metric", err)
+	}
+}
+
 // TestCheckRefusesEmptyComparison guards the gate against becoming a
 // silent no-op: a baseline that names none of the measured benchmarks
 // (schema or name drift) must fail the check, not pass it.

@@ -29,6 +29,7 @@ import (
 	"snug/internal/config"
 	"snug/internal/experiments"
 	"snug/internal/metrics"
+	"snug/internal/prof"
 	"snug/internal/report"
 	"snug/internal/sweep"
 	"snug/internal/trace"
@@ -58,7 +59,7 @@ func main() {
 
 // run executes the command with the given arguments; main is a thin
 // wrapper so tests can drive the full flag-to-output path.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cycles := fs.Int64("cycles", 2_000_000, "cycles per simulation")
@@ -75,12 +76,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	replay := fs.Bool("replay", true, "record each cell's instruction streams once and replay them to every scheme (bit-identical results); false regenerates streams live per run")
 	ablation := fs.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
 	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	cfg := config.TestScale()
 	if *fullScale {

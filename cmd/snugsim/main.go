@@ -34,6 +34,7 @@ import (
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/prof"
 	"snug/internal/stats"
 	"snug/internal/sweep"
 	"snug/internal/trace"
@@ -53,7 +54,7 @@ func main() {
 
 // run executes the command with the given arguments; main is a thin
 // wrapper so tests can drive the full flag-to-output path.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("snugsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scheme := fs.String("scheme", "SNUG",
@@ -68,12 +69,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	replay := fs.Bool("replay", true, "record the workload's instruction streams once and replay them to every compared scheme (bit-identical results); false regenerates streams live per run")
 	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
 	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *list {
 		fmt.Fprintln(stdout, "benchmarks:", strings.Join(trace.Names(), " "))

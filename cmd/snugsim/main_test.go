@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -36,6 +37,31 @@ func TestRunComparisonWithSpecs(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunProfileFlags: -cpuprofile/-memprofile write non-empty pprof files
+// around a run, and an uncreatable profile path is a flag-time error.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	err := run([]string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000",
+		"-cpuprofile", cpu, "-memprofile", mem}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-cycles", "1000", "-cpuprofile", dir + "/no/such/dir/cpu.out"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("uncreatable -cpuprofile path accepted")
 	}
 }
 

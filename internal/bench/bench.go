@@ -9,6 +9,9 @@ package bench
 import (
 	"testing"
 
+	"snug/internal/addr"
+	"snug/internal/bus"
+	"snug/internal/cache"
 	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/experiments"
@@ -84,6 +87,99 @@ func SchemeOnMix(b *testing.B, scheme string) {
 // perf-trajectory baseline tracks.
 func SchemeSNUG(b *testing.B) { SchemeOnMix(b, "SNUG") }
 
+// SNUG16Core measures replayed simulation throughput of the 16-core
+// scale-out SNUG system — the shape where the cooperative-caching
+// broadcast cost used to grow as O(cores × ways) per miss and the CC
+// occupancy index now answers non-holding peers in O(1). Tracked in the
+// baseline next to the quad-core SimulatorSpeed so width-dependent
+// regressions are caught separately.
+func SNUG16Core(b *testing.B) {
+	cfg, err := config.TestScaleN(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mix []string
+	for _, bench := range MixBench {
+		for i := 0; i < 4; i++ {
+			mix = append(mix, bench)
+		}
+	}
+	streams, err := cmp.WorkloadStreams(cfg, mix, cmp.PhaseRefs(Cycles))
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := trace.RecordAll(streams)
+	if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(Cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// CacheOps is the packed cache-array microbenchmark: a slice-shaped
+// (64-set, 16-way) array driven through the hot-path op mix — lookups with
+// occasional writes, miss fills, cooperative inserts, FindCC probes and
+// invalidations — reporting raw ops/s. It pins the struct-of-arrays layout:
+// a layout regression shows here before it is diluted by the full
+// simulator.
+func CacheOps(b *testing.B) {
+	geom := addr.MustGeometry(64, 64)
+	c := cache.MustNew(geom, 16)
+	rng := uint64(0x5eed)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := next()
+		a := geom.Rebuild(r%4096, uint32(r>>16)%64)
+		switch i & 7 {
+		case 0, 1, 2, 3, 4: // the dominant op: lookup, filling on a miss
+			if !c.Lookup(a, i&16 == 0) {
+				c.Insert(a, cache.Block{Dirty: i&32 == 0, Owner: int8(i & 3)})
+			}
+		case 5: // cooperative fill at an explicit (possibly flipped) set
+			c.InsertAt(uint32(r)%64, cache.Block{Tag: r % 4096, CC: true, F: r&1 != 0})
+		case 6: // peer-side retrieval probe
+			c.FindCC(uint32(r)%64, r%4096, r&1 != 0)
+		default:
+			c.Invalidate(a)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BusContention is the calendar-placement microbenchmark behind the
+// binary-search insertion in bus.place: current-time snoops racing
+// far-future data phases and opportunistic write-back drains, reporting
+// raw ops/s.
+func BusContention(b *testing.B) {
+	bu := bus.MustNew(16, 4, 1, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i) * 3
+		skew := now - int64(i%7)*13
+		bu.Acquire(skew, bus.KindSnoop)
+		if i%2 == 0 {
+			bu.Acquire(skew+300, bus.KindData)
+		} else {
+			bu.Acquire(skew, bus.KindData)
+		}
+		if i%4 == 0 {
+			bu.TryAcquire(now, bus.KindWriteback)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
 // FigureMetric runs the full Table 8 evaluation once per iteration (all
 // classes, all schemes, through the sweep engine with record/replay on)
 // and reports each scheme's cross-class average for the chosen metric.
@@ -124,6 +220,9 @@ var ByName = []struct {
 }{
 	{"SimulatorSpeed", SimulatorSpeed},
 	{"SimulatorSpeedLive", SimulatorSpeedLive},
+	{"SNUG16Core", SNUG16Core},
+	{"CacheOps", CacheOps},
+	{"BusContention", BusContention},
 	{"SchemeSNUG", SchemeSNUG},
 	{"Figure9Throughput", Figure9Throughput},
 }

@@ -15,6 +15,7 @@ package bus
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Kind labels a bus transaction for accounting.
@@ -153,32 +154,42 @@ func (b *Bus) Acquire(now int64, k Kind) (doneAt int64) {
 }
 
 // place finds the earliest gap of length dur at or after t, inserts the
-// reservation and returns its start.
+// reservation and returns its start. The busy list is always sorted by
+// start and its intervals are disjoint (every reservation lands in a gap),
+// so ends are monotonic too: a binary search finds the first interval that
+// can conflict — everything before it ends at or before t — and the gap
+// walk continues from there instead of scanning the whole calendar.
 func (c *calendar) place(t, dur int64) int64 {
 	cur := t
-	pos := len(c.busy)
-	for i, iv := range c.busy {
-		if iv.end <= cur {
-			continue
-		}
-		if iv.start >= cur+dur {
-			pos = i
-			break
-		}
-		cur = iv.end
+	pos := sort.Search(len(c.busy), func(i int) bool { return c.busy[i].end > cur })
+	for pos < len(c.busy) && c.busy[pos].start < cur+dur {
+		cur = c.busy[pos].end
+		pos++
 	}
 	// Insert keeping start order. pos is the first interval starting after
-	// the chosen slot (every earlier interval ends before cur+dur begins).
+	// the chosen slot (every earlier interval ends at or before cur), so a
+	// single memmove keeps the invariant — no re-sort is ever needed.
 	c.busy = append(c.busy, interval{})
 	copy(c.busy[pos+1:], c.busy[pos:])
 	c.busy[pos] = interval{start: cur, end: cur + dur}
-	if pos > 0 && c.busy[pos-1].start > c.busy[pos].start {
-		// Defensive: keep sorted even under heavy timestamp skew.
-		sortIntervals(c.busy)
+	// Prune only once the calendar has accumulated enough entries to
+	// matter: per-placement pruning cost more than the few stale entries
+	// it removed. Stale entries below the prune threshold are harmless —
+	// they sit wholly in the past of every placeable request (timestamps
+	// regress far less than the prune slack), so the binary search simply
+	// skips them.
+	if len(c.busy) >= pruneLen {
+		c.prune(t)
 	}
-	c.prune(t)
 	return cur
 }
+
+// pruneLen is the calendar length that triggers a prune pass. It sits
+// well above the handful of intervals alive within the prune slack, so
+// in steady state a prune runs every few dozen placements instead of
+// every one, while the calendar stays small enough that binary searches
+// and memmoves are trivial.
+const pruneLen = 64
 
 // prune drops calendar entries that can no longer affect placements. The
 // quantum-stepped driver guarantees request timestamps regress by at most a
@@ -199,18 +210,12 @@ func (c *calendar) prune(now int64) {
 	c.busy = c.busy[:w]
 }
 
-// hasGap reports whether the calendar is free for dur cycles at exactly t.
+// hasGap reports whether the calendar is free for dur cycles at exactly t:
+// the first interval ending after t either starts beyond the window or
+// overlaps it.
 func (c *calendar) hasGap(t, dur int64) bool {
-	for _, iv := range c.busy {
-		if iv.end <= t {
-			continue
-		}
-		if iv.start >= t+dur {
-			break
-		}
-		return false
-	}
-	return true
+	i := sort.Search(len(c.busy), func(k int) bool { return c.busy[k].end > t })
+	return i == len(c.busy) || c.busy[i].start >= t+dur
 }
 
 // TryAcquire schedules a transaction only if its path has an immediate gap
@@ -252,12 +257,4 @@ func (b *Bus) Reset() {
 	b.addrPath = calendar{}
 	b.dataPath = calendar{}
 	b.stats = Stats{}
-}
-
-func sortIntervals(ivs []interval) {
-	for i := 1; i < len(ivs); i++ {
-		for j := i; j > 0 && ivs[j].start < ivs[j-1].start; j-- {
-			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
-		}
-	}
 }

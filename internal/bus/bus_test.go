@@ -121,6 +121,30 @@ func TestNoOverlapProperty(t *testing.T) {
 	}
 }
 
+func TestCalendarStaysSortedAndDisjoint(t *testing.T) {
+	// place relies on the busy list being sorted by start with disjoint
+	// intervals (that is what makes binary-search insertion sufficient
+	// without a re-sort pass). Hammer it with skewed timestamps and check
+	// the invariant after every placement.
+	f := func(raw []uint16) bool {
+		b := table4Bus()
+		for _, r := range raw {
+			b.Acquire(int64(r%4096), Kind(r%3))
+			for _, c := range []*calendar{&b.addrPath, &b.dataPath} {
+				for i := 1; i < len(c.busy); i++ {
+					if c.busy[i].start < c.busy[i-1].end {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRejectsBadParameters(t *testing.T) {
 	for _, c := range [][4]int{{0, 4, 1, 64}, {16, 0, 1, 64}, {16, 4, -1, 64}, {16, 4, 1, 0}} {
 		if _, err := New(c[0], c[1], c[2], c[3]); err == nil {
@@ -134,3 +158,8 @@ func TestKindString(t *testing.T) {
 		t.Fatal("kind names wrong")
 	}
 }
+
+// The calendar-placement microbenchmark (BusContention) lives in
+// internal/bench, shared between the repo-root BenchmarkBusContention and
+// cmd/bench's CI-gated baseline, so there is exactly one traffic shape to
+// tune.

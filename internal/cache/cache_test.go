@@ -21,16 +21,16 @@ func mkAddr(g addr.Geometry, tag uint64, set uint32) addr.Addr {
 func TestLookupMissThenHit(t *testing.T) {
 	c := testCache(t, 16, 4)
 	a := mkAddr(c.Geometry(), 7, 3)
-	if hit, _ := c.Lookup(a, false); hit {
+	if c.Lookup(a, false) {
 		t.Fatal("hit in empty cache")
 	}
 	c.Insert(a, Block{Owner: 1})
-	hit, blk := c.Lookup(a, false)
-	if !hit {
+	if !c.Lookup(a, false) {
 		t.Fatal("miss after insert")
 	}
-	if blk.Owner != 1 || blk.Dirty {
-		t.Fatalf("block state %+v", blk)
+	blk, found := c.Peek(a)
+	if !found || blk.Owner != 1 || blk.Dirty {
+		t.Fatalf("block state (%+v, %v)", blk, found)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
@@ -43,8 +43,7 @@ func TestWriteSetsDirty(t *testing.T) {
 	a := mkAddr(c.Geometry(), 9, 0)
 	c.Insert(a, Block{})
 	c.Lookup(a, true)
-	_, blk := c.Lookup(a, false)
-	if !blk.Dirty {
+	if blk, _ := c.Peek(a); !blk.Dirty {
 		t.Fatal("write did not set dirty bit")
 	}
 }
@@ -127,7 +126,7 @@ func TestLookupIgnoresFlippedCCBlocks(t *testing.T) {
 	// A flipped cooperative block must never satisfy a plain lookup in its
 	// residence set: its stored tag belongs to a different original index.
 	c.InsertAt(5, Block{Tag: g.Tag(mkAddr(g, 33, 4)), CC: true, F: true})
-	if hit, _ := c.Lookup(mkAddr(g, 33, 5), false); hit {
+	if c.Lookup(mkAddr(g, 33, 5), false) {
 		t.Fatal("plain lookup matched a flipped cooperative block")
 	}
 }
@@ -182,10 +181,10 @@ func TestInclusionPropertyUnderLRU(t *testing.T) {
 	seq := []uint64{1, 2, 3, 4, 5, 1, 6, 2, 7, 3, 8, 9, 1, 2, 10, 4, 11, 5}
 	for _, tag := range seq {
 		a := mkAddr(g, tag, 2)
-		if hit, _ := small.Lookup(a, false); !hit {
+		if !small.Lookup(a, false) {
 			small.Insert(a, Block{})
 		}
-		if hit, _ := big.Lookup(a, false); !hit {
+		if !big.Lookup(a, false) {
 			big.Insert(a, Block{})
 		}
 		// Every block in small must be in big.
@@ -207,12 +206,12 @@ func TestHitsNeverDecreaseWithAssociativity(t *testing.T) {
 		var hitsSmall, hitsBig int
 		for _, r := range raw {
 			a := mkAddr(g, uint64(r%32), uint32(r)%2)
-			if hit, _ := small.Lookup(a, false); hit {
+			if small.Lookup(a, false) {
 				hitsSmall++
 			} else {
 				small.Insert(a, Block{})
 			}
-			if hit, _ := big.Lookup(a, false); hit {
+			if big.Lookup(a, false) {
 				hitsBig++
 			} else {
 				big.Insert(a, Block{})
@@ -242,5 +241,44 @@ func TestFlushEmptiesCache(t *testing.T) {
 func TestRejectsNonPositiveWays(t *testing.T) {
 	if _, err := New(addr.MustGeometry(64, 4), 0); err == nil {
 		t.Fatal("0-way cache accepted")
+	}
+}
+
+func TestRejectsOverwideAssociativity(t *testing.T) {
+	// The rank-nibble LRU word holds 16 ranks; wider arrays must be refused
+	// loudly rather than silently corrupting replacement state.
+	if _, err := New(addr.MustGeometry(64, 4), 17); err == nil {
+		t.Fatal("17-way cache accepted beyond the rank-nibble limit")
+	}
+	if _, err := New(addr.MustGeometry(64, 4), 16); err != nil {
+		t.Fatalf("16-way cache rejected: %v", err)
+	}
+}
+
+func TestCCOccupancyIndex(t *testing.T) {
+	c := testCache(t, 8, 4)
+	if c.CCCount(3, false) != 0 || c.CCCount(3, true) != 0 {
+		t.Fatal("fresh cache reports cooperative occupancy")
+	}
+	c.InsertAt(3, Block{Tag: 1, CC: true})
+	c.InsertAt(3, Block{Tag: 2, CC: true, F: true})
+	c.InsertAt(3, Block{Tag: 3})
+	if c.CCCount(3, false) != 1 || c.CCCount(3, true) != 1 {
+		t.Fatalf("counts (%d,%d), want (1,1)", c.CCCount(3, false), c.CCCount(3, true))
+	}
+	var visited []uint32
+	c.ForEachCCSet(func(s uint32) { visited = append(visited, s) })
+	if len(visited) != 1 || visited[0] != 3 {
+		t.Fatalf("ForEachCCSet visited %v, want [3]", visited)
+	}
+	// Dropping the cooperative blocks must zero the index and the bitmap.
+	c.DropWhere(3, func(b Block) bool { return b.CC })
+	if c.CCCount(3, false) != 0 || c.CCCount(3, true) != 0 {
+		t.Fatal("counts nonzero after dropping all cooperative blocks")
+	}
+	visited = visited[:0]
+	c.ForEachCCSet(func(s uint32) { visited = append(visited, s) })
+	if len(visited) != 0 {
+		t.Fatalf("ForEachCCSet visited %v after drop, want none", visited)
 	}
 }

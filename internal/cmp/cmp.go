@@ -146,7 +146,7 @@ type corePath struct {
 // access resolves one data-memory access; it is the System's cpu.MemFunc.
 func (p *corePath) access(now int64, a addr.Addr, write bool) int64 {
 	pa := a | p.base
-	if hit, _ := p.l1.Lookup(pa, write); hit {
+	if p.l1.Lookup(pa, write) {
 		return now + p.l1Lat
 	}
 	done := p.ctrl.Access(p.core, now+p.l1Lat, pa, write)

@@ -107,7 +107,7 @@ func (s *SNUG) Access(core int, now int64, a addr.Addr, write bool) int64 {
 	// is that spilling is suspended while the new classification settles.
 	const training = true
 
-	if hit, _ := h.Slices[core].Lookup(a, write); hit {
+	if h.Slices[core].Lookup(a, write) {
 		if training {
 			s.mon[core].OnRealHit(a)
 		}
@@ -128,7 +128,10 @@ func (s *SNUG) Access(core int, now int64, a addr.Addr, write bool) int64 {
 
 	// Retrieval broadcast (allowed in both stages): each peer consults its
 	// G/T vector for the same-index and flipped-index entries and performs
-	// at most one unambiguous set search (§3.2).
+	// at most one unambiguous set search (§3.2). FindCC checks the peer's
+	// CC occupancy index first, so a peer whose candidate set holds no
+	// cooperative block of the requested flip state answers in O(1) — the
+	// broadcast costs a counter check per non-holding peer, not a set scan.
 	s.stats.Retrievals++
 	reqDone := h.Bus.Acquire(now+l2Lat, bus.KindSnoop)
 	idx := h.Geom.Index(a)
@@ -256,7 +259,9 @@ func (s *SNUG) stageLen() int64 {
 
 // latch re-latches every slice's G/T vector from its counters and, when
 // configured, drops cooperative blocks stranded unreachable by the new
-// classification (see DESIGN.md, "Spill rules").
+// classification (see DESIGN.md, "Spill rules"). The stranded sweep walks
+// the CC occupancy index instead of every set: only sets actually holding
+// cooperative blocks are scanned, and CC-free slices cost nothing.
 func (s *SNUG) latch() {
 	for core := range s.mon {
 		s.mon[core].Latch()
@@ -268,13 +273,12 @@ func (s *SNUG) latch() {
 	for core := range s.mon {
 		gt := s.mon[core].GT()
 		slice := s.h.Slices[core]
-		for set := 0; set < slice.Sets(); set++ {
-			setIdx := uint32(set)
+		slice.ForEachCCSet(func(setIdx uint32) {
 			dropped := slice.DropWhere(setIdx, func(b cache.Block) bool {
 				return b.CC && !Reachable(gt, setIdx, b.F, flip)
 			})
 			s.stats.StrandedDropped += int64(dropped)
-		}
+		})
 	}
 }
 

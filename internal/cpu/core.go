@@ -45,8 +45,14 @@ type Core struct {
 
 	// Per-kind latencies and queue bounds, widened once at construction so
 	// the per-instruction path does no int64 conversions or config loads.
-	aluLat, fpLat, multLat, divLat, loadLat int64
-	lsqSize                                 int
+	// simpleLat maps the non-memory, non-control kinds (ALU/FPU/Mult/Div)
+	// to their functional-unit latency, turning four switch arms into one
+	// predictable "simple instruction" branch plus a table load.
+	aluLat, loadLat     int64
+	simpleLat           [isa.KindLoad]int64
+	lsqSize             int
+	issueWidth, ruuSize int
+	commitWidth         int
 
 	clock      int64 // dispatch cycle of the most recent instruction
 	fetchAvail int64 // earliest dispatch after a fetch redirect
@@ -64,25 +70,41 @@ type Core struct {
 
 	prevComplete int64
 
+	// pend is the decode-ahead buffer Run fills from a BatchStream — one
+	// batched decode call amortizes the per-instruction stream dispatch.
+	pend     []isa.Instr
+	pendHead int
+	pendLen  int
+
+	// kindCount is the per-kind tally with a power-of-two shape so the
+	// per-instruction increment needs no bounds check; Stats() folds it
+	// into the exported fixed-size array.
+	kindCount [16]int64
+
 	stats Stats
 }
 
 // NewCore builds a core with the given configuration.
 func NewCore(cfg config.Core) *Core {
-	return &Core{
-		cfg:        cfg,
-		pred:       NewPredictor(cfg.PredictorSize, cfg.HistoryLength),
-		btb:        NewBTB(cfg.BTBSets, cfg.BTBWays),
-		ras:        NewRAS(cfg.RASEntries),
-		commitRing: make([]int64, cfg.RUUSize),
-		lsq:        make([]int64, 0, cfg.LSQSize),
-		aluLat:     int64(cfg.ALULat),
-		fpLat:      int64(cfg.FPLat),
-		multLat:    int64(cfg.MultLat),
-		divLat:     int64(cfg.DivLat),
-		loadLat:    int64(cfg.LoadLat),
-		lsqSize:    cfg.LSQSize,
+	c := &Core{
+		cfg:         cfg,
+		pred:        NewPredictor(cfg.PredictorSize, cfg.HistoryLength),
+		btb:         NewBTB(cfg.BTBSets, cfg.BTBWays),
+		ras:         NewRAS(cfg.RASEntries),
+		commitRing:  make([]int64, cfg.RUUSize),
+		lsq:         make([]int64, 0, cfg.LSQSize),
+		aluLat:      int64(cfg.ALULat),
+		loadLat:     int64(cfg.LoadLat),
+		lsqSize:     cfg.LSQSize,
+		issueWidth:  cfg.IssueWidth,
+		commitWidth: cfg.CommitWidth,
+		ruuSize:     cfg.RUUSize,
 	}
+	c.simpleLat[isa.KindALU] = int64(cfg.ALULat)
+	c.simpleLat[isa.KindFPU] = int64(cfg.FPLat)
+	c.simpleLat[isa.KindMult] = int64(cfg.MultLat)
+	c.simpleLat[isa.KindDiv] = int64(cfg.DivLat)
+	return c
 }
 
 // Stats returns a snapshot of the core's counters with Cycles set to the
@@ -90,6 +112,7 @@ func NewCore(cfg config.Core) *Core {
 func (c *Core) Stats() Stats {
 	s := c.stats
 	s.Cycles = c.clock
+	copy(s.KindCount[:], c.kindCount[:len(s.KindCount)])
 	return s
 }
 
@@ -99,43 +122,68 @@ func (c *Core) Clock() int64 { return c.clock }
 // Predictor exposes the branch predictor for reporting.
 func (c *Core) Predictor() *Predictor { return c.pred }
 
+// pendBatch is the decode-ahead depth of the BatchStream run loop: large
+// enough to amortize the batched decode across a whole quantum (~100-200
+// instructions at the configured widths), small enough to stay cache-hot.
+const pendBatch = 256
+
 // Run advances the core until its dispatch clock reaches the until cycle,
 // drawing instructions from stream and resolving memory through mem. It
 // returns the number of instructions dispatched during this quantum.
+//
+// Streams implementing isa.BatchStream (trace replays) are consumed
+// through a persistent decode-ahead buffer: one NextBatch call decodes
+// pendBatch instructions in a tight loop, replacing pendBatch interface
+// dispatches. Instructions decoded past a quantum boundary stay buffered
+// for the next Run call, so the consumed stream prefix — and therefore
+// every simulation result — is identical to the one-at-a-time path.
 func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
+	before := c.stats.Instructions
+	if bs, ok := stream.(isa.BatchStream); ok {
+		if c.pend == nil {
+			c.pend = make([]isa.Instr, pendBatch)
+		}
+		for c.clock < until {
+			if c.pendHead == c.pendLen {
+				c.pendLen = bs.NextBatch(c.pend)
+				c.pendHead = 0
+				if c.pendLen == 0 {
+					// A finite stream ran dry; the workload streams are
+					// endless, but never step stale buffer contents.
+					break
+				}
+			}
+			c.step(&c.pend[c.pendHead], mem)
+			c.pendHead++
+		}
+		return c.stats.Instructions - before
+	}
 	var in isa.Instr
-	n := int64(0)
 	for c.clock < until {
 		stream.Next(&in)
 		c.step(&in, mem)
-		n++
 	}
-	return n
+	return c.stats.Instructions - before
 }
 
 // step dispatches, executes and commits one instruction in model time.
 func (c *Core) step(in *isa.Instr, mem MemFunc) {
-	cfg := &c.cfg
-
 	// Dispatch: bounded by fetch availability, window space, issue width,
 	// and LSQ occupancy for memory operations.
-	e := c.clock
-	if c.fetchAvail > e {
-		e = c.fetchAvail
-	}
+	e := max(c.clock, c.fetchAvail)
 	if robFree := c.commitRing[c.robIdx]; robFree > e {
 		c.stats.ROBStall += robFree - e
 		e = robFree
 	}
-	isMem := in.Kind == isa.KindLoad || in.Kind == isa.KindStore
-	if isMem {
+	kind := in.Kind
+	if kind == isa.KindLoad || kind == isa.KindStore {
 		e = c.reserveLSQ(e)
 	}
 	// Issue-width constraint.
 	if e < c.issuedAt {
 		e = c.issuedAt
 	}
-	if e == c.issuedAt && c.issuedCnt >= cfg.IssueWidth {
+	if e == c.issuedAt && c.issuedCnt >= c.issueWidth {
 		e++
 	}
 	if e > c.issuedAt {
@@ -144,60 +192,64 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	}
 	c.issuedCnt++
 
-	// Execute.
+	// Execute. The dependence stall is computed branchlessly: DepPrev is
+	// effectively random per instruction (the generators model dependence
+	// chains probabilistically), so a conditional here mispredicts
+	// constantly — masking the stall with the flag costs a handful of
+	// always-executed ALU ops instead.
 	start := e
-	if in.DepPrev && c.prevComplete > start {
-		c.stats.DepStall += c.prevComplete - start
-		start = c.prevComplete
+	dep := max(c.prevComplete-start, 0)
+	var depMask int64
+	if in.DepPrev {
+		depMask = -1
 	}
+	dep &= depMask
+	c.stats.DepStall += dep
+	start += dep
+	// The simple kinds (ALU/FPU/Mult/Div) — the bulk of the stream — share
+	// one predictable branch into a latency table; only memory and control
+	// flow take the switch.
 	var complete int64
-	switch in.Kind {
-	case isa.KindALU:
-		complete = start + c.aluLat
-	case isa.KindFPU:
-		complete = start + c.fpLat
-	case isa.KindMult:
-		complete = start + c.multLat
-	case isa.KindDiv:
-		complete = start + c.divLat
-	case isa.KindLoad:
-		complete = mem(start+c.loadLat, in.Addr, false)
-		c.pushLSQ(complete)
-	case isa.KindStore:
-		done := mem(start+c.loadLat, in.Addr, true)
-		c.pushLSQ(done)
-		complete = start + 1 // posted through the store buffer
-	case isa.KindBranch:
-		complete = start + c.aluLat
-		mispred := c.pred.Update(in.PC, in.Taken)
-		if in.Taken && !c.btb.LookupInsert(in.PC) {
-			mispred = true
+	if kind < isa.KindLoad {
+		complete = start + c.simpleLat[kind]
+	} else {
+		switch kind {
+		case isa.KindLoad:
+			complete = mem(start+c.loadLat, in.Addr, false)
+			c.pushLSQ(complete)
+		case isa.KindStore:
+			done := mem(start+c.loadLat, in.Addr, true)
+			c.pushLSQ(done)
+			complete = start + 1 // posted through the store buffer
+		case isa.KindBranch:
+			complete = start + c.aluLat
+			mispred := c.pred.Update(in.PC, in.Taken)
+			if in.Taken && !c.btb.LookupInsert(in.PC) {
+				mispred = true
+			}
+			if mispred {
+				c.redirect(complete)
+			}
+		case isa.KindCall:
+			complete = start + c.aluLat
+			c.ras.Push(in.PC + 4)
+			if !c.btb.LookupInsert(in.PC) {
+				c.redirect(complete)
+			}
+		case isa.KindReturn:
+			complete = start + c.aluLat
+			if !c.ras.Pop(in.Target) {
+				c.redirect(complete)
+			}
+		default:
+			complete = start + c.aluLat
 		}
-		if mispred {
-			c.redirect(complete)
-		}
-	case isa.KindCall:
-		complete = start + c.aluLat
-		c.ras.Push(in.PC + 4)
-		if !c.btb.LookupInsert(in.PC) {
-			c.redirect(complete)
-		}
-	case isa.KindReturn:
-		complete = start + c.aluLat
-		if !c.ras.Pop(in.Target) {
-			c.redirect(complete)
-		}
-	default:
-		complete = start + c.aluLat
 	}
 	c.prevComplete = complete
 
 	// Commit: in order, bounded by commit width.
-	ct := complete
-	if c.lastCommit > ct {
-		ct = c.lastCommit
-	}
-	if ct == c.commitAt && c.commitCnt >= cfg.CommitWidth {
+	ct := max(complete, c.lastCommit)
+	if ct == c.commitAt && c.commitCnt >= c.commitWidth {
 		ct++
 	}
 	if ct > c.commitAt {
@@ -209,12 +261,12 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	c.commitRing[c.robIdx] = ct
 
 	c.robIdx++
-	if c.robIdx == cfg.RUUSize {
+	if c.robIdx == c.ruuSize {
 		c.robIdx = 0
 	}
 	c.clock = e
 	c.stats.Instructions++
-	c.stats.KindCount[in.Kind]++
+	c.kindCount[kind&15]++
 }
 
 // redirect applies a fetch redirect (branch misprediction) resolved at

@@ -79,7 +79,7 @@ func Characterize(opt CharacterizeOptions) (*stackdist.Characterization, error) 
 			if in.Kind != isa.KindLoad && in.Kind != isa.KindStore {
 				continue
 			}
-			if hit, _ := l1.Lookup(in.Addr, in.Kind == isa.KindStore); hit {
+			if l1.Lookup(in.Addr, in.Kind == isa.KindStore) {
 				continue
 			}
 			l1.Insert(in.Addr, cache.Block{Dirty: in.Kind == isa.KindStore})

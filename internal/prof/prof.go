@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof CPU and heap profilers
+// into the CLI tools, so perf work on the simulator can be driven by real
+// profiles (`go tool pprof <binary> cpu.out`) instead of guesswork. Both
+// cmd/snugsim and cmd/experiments expose it as -cpuprofile/-memprofile.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arranges a
+// heap profile into memPath (when non-empty). It returns a stop function
+// the caller must run on exit — typically deferred around the command
+// body — which flushes the CPU profile and writes the heap snapshot.
+// Empty paths make Start and its stop function no-ops.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			// An up-to-date allocation picture needs a collection first —
+			// the heap profile reports live objects as of the last GC.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: close %s: %w", memPath, err)
+			}
+		}
+		return nil
+	}, nil
+}

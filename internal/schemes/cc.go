@@ -54,7 +54,7 @@ func (c *CC) Name() string { return fmt.Sprintf("CC(%d%%)", c.spillPct) }
 func (c *CC) Access(core int, now int64, a addr.Addr, write bool) int64 {
 	h := c.h
 	l2Lat := int64(h.Cfg.Mem.L2Lat)
-	if hit, _ := h.Slices[core].Lookup(a, write); hit {
+	if h.Slices[core].Lookup(a, write) {
 		h.Record(core, SrcLocalL2)
 		return now + l2Lat
 	}

@@ -125,7 +125,7 @@ func (d *DSR) train(core int, set uint32) {
 func (d *DSR) Access(core int, now int64, a addr.Addr, write bool) int64 {
 	h := d.h
 	l2Lat := int64(h.Cfg.Mem.L2Lat)
-	if hit, _ := h.Slices[core].Lookup(a, write); hit {
+	if h.Slices[core].Lookup(a, write) {
 		h.Record(core, SrcLocalL2)
 		return now + l2Lat
 	}

@@ -25,7 +25,7 @@ func (p *L2P) Name() string { return "L2P" }
 func (p *L2P) Access(core int, now int64, a addr.Addr, write bool) int64 {
 	h := p.h
 	l2Lat := int64(h.Cfg.Mem.L2Lat)
-	if hit, _ := h.Slices[core].Lookup(a, write); hit {
+	if h.Slices[core].Lookup(a, write) {
 		h.Record(core, SrcLocalL2)
 		return now + l2Lat
 	}

@@ -90,7 +90,7 @@ func (s *L2S) Access(core int, now int64, a addr.Addr, write bool) int64 {
 		// transfer (charged below).
 		s.bus.Acquire(now, bus.KindSnoop)
 	}
-	if hit, _ := s.banks[b].Lookup(la, write); hit {
+	if s.banks[b].Lookup(la, write) {
 		s.perCore[core].BySource[src]++
 		done := now + lat
 		if remote {
@@ -133,7 +133,7 @@ func (s *L2S) retire(bank int, now int64, v cache.Block, setIdx uint32) {
 func (s *L2S) WritebackL1(core int, now int64, a addr.Addr) {
 	b := s.bank(a)
 	la := s.bankLocal(a)
-	if hit, _ := s.banks[b].Lookup(la, true); hit {
+	if s.banks[b].Lookup(la, true) {
 		return
 	}
 	s.wb[b].Insert(now, s.geom.Block(a), s.issueWriteback)

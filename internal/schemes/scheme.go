@@ -225,7 +225,7 @@ func (h *Hierarchy) DirectReadProbe(core int, now int64, a addr.Addr) (bool, int
 // block is resident in the slice, otherwise posts it straight to the write
 // buffer.
 func (h *Hierarchy) MarkDirtyOrBuffer(core int, now int64, a addr.Addr) {
-	if hit, _ := h.Slices[core].Lookup(a, true); hit {
+	if h.Slices[core].Lookup(a, true) {
 		return
 	}
 	// Not resident (non-inclusive corner): post the block to memory.

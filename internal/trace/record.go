@@ -267,6 +267,75 @@ func (p *Replay) Next(in *isa.Instr) {
 	p.pos++
 }
 
+// NextBatch implements isa.BatchStream: the cursor and delta-decoder state
+// live in locals across the batch and the published-window checks run once
+// per window instead of once per instruction, so batched replay decodes at
+// memory-scan speed. Behaviour is identical to len(dst) Next calls.
+func (p *Replay) NextBatch(dst []isa.Instr) int {
+	n := 0
+	for n < len(dst) {
+		if p.pos >= p.limit {
+			p.moreInstructions()
+		}
+		if p.off >= p.used {
+			p.moreBytes()
+		}
+		// Decode straight out of the current chunk's published window.
+		// Published byte counts land on instruction boundaries, so every
+		// instruction starting below used is complete.
+		buf := p.buf
+		off := p.off
+		used := p.used
+		pc, a, tgt := p.prevPC, p.prevAddr, p.prevTarget
+		decoded := int64(0)
+		for off < used && n < len(dst) {
+			in := &dst[n]
+			meta := buf[off]
+			off++
+			if meta&metaSeqPC != 0 {
+				pc += 4
+			} else {
+				var d uint64
+				if b := buf[off]; b < 0x80 { // inline uvarint fast path
+					d, off = uint64(b), off+1
+				} else {
+					d, off = uvarint(buf, off)
+				}
+				pc += zag(d)
+			}
+			kind := isa.Kind(meta & metaKindMask)
+			in.Kind = kind
+			in.PC = pc
+			in.DepPrev = meta&metaDepPrev != 0
+			in.Taken = meta&metaTaken != 0
+			in.Addr = 0
+			in.Target = 0
+			switch kind {
+			case isa.KindLoad, isa.KindStore:
+				var d uint64
+				if b := buf[off]; b < 0x80 {
+					d, off = uint64(b), off+1
+				} else {
+					d, off = uvarint(buf, off)
+				}
+				a += zag(d)
+				in.Addr = addr.Addr(a)
+			case isa.KindReturn:
+				d, o := uvarint(buf, off)
+				off = o
+				tgt += zag(d)
+				in.Target = tgt
+			}
+			n++
+			decoded++
+		}
+		p.off = off
+		p.prevPC, p.prevAddr, p.prevTarget = pc, a, tgt
+		p.pos += decoded
+	}
+	return n
+}
+
 // moreInstructions refreshes the published-instruction limit, extending the
 // recording from its source when the cursor has truly caught up.
 func (p *Replay) moreInstructions() {

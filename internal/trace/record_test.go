@@ -47,6 +47,36 @@ func TestReplayMatchesLiveStream(t *testing.T) {
 	}
 }
 
+// TestReplayNextBatchMatchesNext: the batched decode path is the one the
+// core model's run loop uses; it must serve exactly the instructions Next
+// would, across window boundaries and ragged batch sizes (including
+// batches larger than one extension).
+func TestReplayNextBatchMatchesNext(t *testing.T) {
+	rec := NewRecording(newTestGen(t, "vortex", 42))
+	one := rec.Replay()
+	batched := rec.Replay()
+	sizes := []int{1, 3, 256, 17, 4096 + 9, 64}
+	buf := make([]isa.Instr, 4096+9)
+	var want isa.Instr
+	total := int64(0)
+	for i := 0; total < 40_000; i++ {
+		n := sizes[i%len(sizes)]
+		if got := batched.NextBatch(buf[:n]); got != n {
+			t.Fatalf("NextBatch(%d) = %d", n, got)
+		}
+		for j := 0; j < n; j++ {
+			one.Next(&want)
+			if buf[j] != want {
+				t.Fatalf("instruction %d: batch %+v, next %+v", total+int64(j), buf[j], want)
+			}
+		}
+		total += int64(n)
+		if batched.Pos() != total {
+			t.Fatalf("Pos() = %d after %d batched instructions", batched.Pos(), total)
+		}
+	}
+}
+
 // TestReplayCursorsIndependent checks that cursors over one recording do
 // not disturb each other: a second cursor started later sees the stream
 // from the beginning.
