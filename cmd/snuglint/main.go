@@ -1,0 +1,47 @@
+// Command snuglint runs the determinism-and-hot-path analyzer suite
+// (internal/lint) over this module. It machine-checks the invariants the
+// golden digest only samples: no map-iteration-order dependence, no
+// wall-clock reads, identity-derived RNG seeds, and allocation-free
+// //snug:hotpath functions.
+//
+// Two modes:
+//
+//	snuglint [packages]         standalone; defaults to ./...
+//	go vet -vettool=$(which snuglint) ./...
+//
+// The vet form integrates with the go command's build cache and package
+// graph; the standalone form needs only a go toolchain on PATH. Exit
+// status is nonzero when any diagnostic is reported. See DESIGN.md
+// §"Statically-checked invariants" for the analyzer list and the
+// //snug:hotpath / //snug:allow annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snug/internal/lint"
+)
+
+func main() {
+	// The vet protocol (-V=full / -flags / *.cfg) exits internally.
+	if lint.VetEntry(os.Args[1:]) {
+		return
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: snuglint [packages]\n       go vet -vettool=$(which snuglint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	n, err := lint.Main(os.Stderr, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snuglint: %v\n", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "snuglint: %d finding(s)\n", n)
+		os.Exit(2)
+	}
+}

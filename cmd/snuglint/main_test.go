@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"snug/internal/lint"
+)
+
+// TestRepoIsClean is the self-gate: the analyzer suite must exit clean on
+// this repository. Any new range-over-map, wall-clock read, undisciplined
+// seed or hot-path allocation in a result-affecting package fails this
+// test (and the CI snuglint step) until it is fixed or carries a
+// //snug:allow justification.
+func TestRepoIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := lint.Main(&buf, []string{"snug/..."})
+	if err != nil {
+		t.Fatalf("snuglint: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("snuglint reported %d finding(s) on the repo:\n%s", n, buf.String())
+	}
+}

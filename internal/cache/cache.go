@@ -237,6 +237,8 @@ func (c *Cache) blockAt(s uint32, way int) Block {
 // scan shared by Lookup, Probe, Peek and Invalidate: the per-set meta word
 // yields the eligible ways (valid && !(CC && F)) in one mask expression,
 // and only their tags — dense, row-major — are compared, in way order.
+//
+//snug:hotpath
 func (c *Cache) matchWay(s uint32, tag uint64) int {
 	m := c.meta[s]
 	elig := (m &^ ((m >> 2) & (m >> 3))) & c.waySel
@@ -256,6 +258,8 @@ func (c *Cache) matchWay(s uint32, tag uint64) int {
 // locate it. order's low nibbles are a permutation, so exactly one nibble
 // matches; higher (unused) nibbles are zero and can only flag above the
 // true match, which TrailingZeros64 ignores.
+//
+//snug:hotpath
 func rankShift(order uint64, w int) uint {
 	x := order ^ (uint64(w) * lowBits)
 	y := (x - lowBits) & ^x & highBits
@@ -265,6 +269,8 @@ func rankShift(order uint64, w int) uint {
 // promote moves way w to rank 0 (MRU) in the order word: the ranks above
 // it rotate up by one nibble — a constant-time operation, independent of
 // associativity.
+//
+//snug:hotpath
 func promote(order uint64, w int) uint64 {
 	p := rankShift(order, w)
 	below := order & (uint64(1)<<p - 1)
@@ -276,6 +282,8 @@ func promote(order uint64, w int) uint64 {
 // block is promoted to MRU, the dirty bit is set for writes, and hit
 // statistics are updated. On a miss only the miss counter is updated.
 // Use Peek to inspect a resident block's state without side effects.
+//
+//snug:hotpath
 func (c *Cache) Lookup(a addr.Addr, write bool) bool {
 	s := uint32((uint64(a) >> c.offBits) & c.idxMask)
 	tag := uint64(a) >> c.tagShift
@@ -368,6 +376,8 @@ func (c *Cache) ForEachCCSet(fn func(setIdx uint32)) {
 // The occupancy index answers an empty candidate set in O(1), so a
 // retrieval broadcast costs each non-holding peer one counter check
 // instead of a set scan. It does not update LRU or statistics.
+//
+//snug:hotpath
 func (c *Cache) FindCC(setIdx uint32, tag uint64, flipped bool) (found bool, way int) {
 	if c.CCCount(setIdx, flipped) == 0 {
 		return false, -1

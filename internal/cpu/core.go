@@ -137,11 +137,13 @@ const pendBatch = 256
 // dispatches. Instructions decoded past a quantum boundary stay buffered
 // for the next Run call, so the consumed stream prefix — and therefore
 // every simulation result — is identical to the one-at-a-time path.
+//
+//snug:hotpath
 func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
 	before := c.stats.Instructions
 	if bs, ok := stream.(isa.BatchStream); ok {
 		if c.pend == nil {
-			c.pend = make([]isa.Instr, pendBatch)
+			c.pend = make([]isa.Instr, pendBatch) //snug:allow hotalloc one-time decode-buffer warm-up, never per step
 		}
 		for c.clock < until {
 			if c.pendHead == c.pendLen {
@@ -167,6 +169,8 @@ func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
 }
 
 // step dispatches, executes and commits one instruction in model time.
+//
+//snug:hotpath
 func (c *Core) step(in *isa.Instr, mem MemFunc) {
 	// Dispatch: bounded by fetch availability, window space, issue width,
 	// and LSQ occupancy for memory operations.
@@ -294,6 +298,8 @@ func (c *Core) redirect(resolved int64) {
 // this path is a length check in the common case and one predictable
 // linear pass per capacity-fill, amortizing to ~1 slot move per push when
 // most entries are short-lived.
+//
+//snug:hotpath
 func (c *Core) reserveLSQ(e int64) int64 {
 	if len(c.lsq) < c.lsqSize {
 		return e
@@ -311,6 +317,8 @@ func (c *Core) reserveLSQ(e int64) int64 {
 
 // compactLSQ drops entries whose memory operation completed by cycle e,
 // returning the minimum surviving completion time (MaxInt64 when none).
+//
+//snug:hotpath
 func (c *Core) compactLSQ(e int64) int64 {
 	q := c.lsq
 	w := 0
@@ -329,6 +337,8 @@ func (c *Core) compactLSQ(e int64) int64 {
 }
 
 // pushLSQ records an outstanding completion time.
+//
+//snug:hotpath
 func (c *Core) pushLSQ(t int64) {
-	c.lsq = append(c.lsq, t)
+	c.lsq = append(c.lsq, t) //snug:allow hotalloc capacity stabilizes at lsqSize; compactLSQ keeps len below it
 }

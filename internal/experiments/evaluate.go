@@ -250,7 +250,9 @@ func (cr *ComboResult) collect(results map[string]cmp.RunResult, selected []stri
 	cr.RepCCBestPct = make([]int, reps)
 	for r := 0; r < reps; r++ {
 		runs := make(map[string]cmp.RunResult)
-		for key, res := range results {
+		// Map-to-map transfer: insertion order cannot change the resulting
+		// map, and finalize reads it through sorted scheme names.
+		for key, res := range results { //snug:allow maporder set-semantics transfer into another map
 			base, rep := sweep.SplitReplicateKey(key)
 			if rep != r {
 				continue

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc checks functions annotated `//snug:hotpath`: their bodies must
+// be allocation-free. PR 4/5 drove the simulator's per-run allocation
+// count from ~48k to 202 by keeping the step/lookup/calendar/decode loops
+// free of append, make, new, map writes and capturing closures; this
+// analyzer locks that property in so a refactor cannot quietly reintroduce
+// a per-instruction allocation.
+//
+// Flagged inside a hotpath body:
+//
+//   - append(...) and make(...)/new(...) calls
+//   - map writes: m[k] = v, m[k]++, op-assign through a map index, and
+//     delete(m, k)
+//   - capturing closures: a func literal that references variables of the
+//     enclosing function (those force a heap-allocated closure object in
+//     the general case)
+//
+// Amortized or provably stack-allocated cases (a sort.Search comparator
+// whose parameter does not escape, a buffer that reaches a steady-state
+// capacity) carry `//snug:allow hotalloc <why>` on the line.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocations in //snug:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				return true
+			}
+			checkHotBody(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pass, n.Fun, "append"):
+				pass.Reportf(n.Pos(), "append in hot path %s: grows a heap allocation per overflow; preallocate or annotate with %s hotalloc <why>", name, allowDirective)
+			case isBuiltin(pass, n.Fun, "make"):
+				pass.Reportf(n.Pos(), "make in hot path %s: allocates per call; hoist to construction or annotate with %s hotalloc <why>", name, allowDirective)
+			case isBuiltin(pass, n.Fun, "new"):
+				pass.Reportf(n.Pos(), "new in hot path %s: allocates per call; hoist to construction or annotate with %s hotalloc <why>", name, allowDirective)
+			case isBuiltin(pass, n.Fun, "delete"):
+				if len(n.Args) > 0 && isMapType(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(), "map delete in hot path %s: map mutation in the hot loop; restructure or annotate with %s hotalloc <why>", name, allowDirective)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportMapWrite(pass, name, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportMapWrite(pass, name, n.X)
+		case *ast.FuncLit:
+			if captures(pass, fn, n) {
+				pass.Reportf(n.Pos(), "capturing closure in hot path %s: may heap-allocate the closure and its captures; hoist it or annotate with %s hotalloc <why>", name, allowDirective)
+			}
+			// The literal's own body was inspected by this walk already
+			// (ast.Inspect descends into it), which is what we want:
+			// code inside the closure still runs on the hot path.
+		}
+		return true
+	})
+}
+
+func reportMapWrite(pass *Pass, name string, lhs ast.Expr) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok || !isMapType(pass, idx.X) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "map write in hot path %s: hashing and possible growth per write; use a dense index or annotate with %s hotalloc <why>", name, allowDirective)
+}
+
+func isMapType(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// captures reports whether lit references a variable declared in fn but
+// outside lit — the condition that forces a closure environment.
+// Package-level variables and lit's own locals/parameters do not count.
+func captures(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fn.Pos() && pos < fn.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/hotalloc", lint.HotAlloc, "hot")
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"maporder", "wallclock", "seeddiscipline", "hotalloc"}
+	if len(lint.Analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(lint.Analyzers), len(want))
+	}
+	for i, name := range want {
+		if lint.Analyzers[i].Name != name {
+			t.Errorf("Analyzers[%d] = %s, want %s", i, lint.Analyzers[i].Name, name)
+		}
+		if lint.ByName(name) != lint.Analyzers[i] {
+			t.Errorf("ByName(%q) did not return the suite analyzer", name)
+		}
+	}
+	if lint.ByName("nope") != nil {
+		t.Errorf("ByName(nope) = %v, want nil", lint.ByName("nope"))
+	}
+}

@@ -1,0 +1,289 @@
+// Package lint is the snuglint analyzer suite: a set of static checks
+// that machine-verify the determinism and hot-path invariants the golden
+// digest (internal/cmp/golden_test.go) only samples dynamically.
+//
+// The suite is built on a deliberately small reimplementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer / Pass / Diagnostic)
+// because this module carries no external dependencies: everything here is
+// standard library only. The API mirrors go/analysis closely enough that
+// the analyzers could be ported to x/tools by swapping the framework types.
+//
+// Four analyzers ship today:
+//
+//   - maporder: flags `range` over a map in a result-affecting package —
+//     map iteration order is randomized per process, so any result that
+//     depends on it breaks bit-identical reproduction.
+//   - wallclock: forbids wall-clock reads (time.Now / time.Since /
+//     time.Sleep / timers) in result-affecting packages; simulated time is
+//     the only clock results may observe.
+//   - seeddiscipline: every RNG must be stats.NewRNG with a seed derived
+//     from data (sweep.JobSeed / stats.Mix64 / identity hashes) — constant
+//     literal seeds and math/rand are errors in non-test code.
+//   - hotalloc: functions annotated //snug:hotpath must not allocate
+//     (append / make / new / map writes / capturing closures), locking in
+//     the allocs-per-run wins measured by cmd/bench.
+//
+// # Annotation grammar
+//
+//	//snug:hotpath
+//	    In a function's doc comment: the function body is subject to the
+//	    hotalloc analyzer.
+//
+//	//snug:allow <analyzer> [justification...]
+//	    Trailing on a line, or alone on the line above: suppresses the
+//	    named analyzer's diagnostics on that line. The justification is
+//	    free text but conventionally states why the exception is sound
+//	    (e.g. "progress/ETA only, never feeds results").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is a type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File // all parsed files, including _test.go in test variants
+	Pkg   *types.Package
+	Info  *types.Info
+
+	allows map[*ast.File]map[int][]string // line -> analyzers allowed there
+}
+
+// Pass carries one analyzer's view of one package. It mirrors
+// analysis.Pass; Report applies //snug:allow suppression before recording.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *types.Package
+	Info     *types.Info
+
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Files returns the package's non-test files — the only files the suite
+// analyzes. Test files may use wall clocks, literal seeds and maps freely.
+func (p *Pass) Files() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.pkg.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Reportf records a diagnostic at pos unless a //snug:allow directive for
+// this analyzer covers the line (same line, or the whole line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg.allowedAt(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil if unknown.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if t, ok := p.Info.Types[expr]; ok {
+		return t.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ResultAffecting is the set of packages whose computation feeds simulation
+// results — the packages where a stray map iteration or wall-clock read
+// silently breaks the bit-identical contract. DESIGN.md §"Statically-checked
+// invariants" documents how to extend it.
+var ResultAffecting = map[string]bool{
+	"snug/internal/cache":       true,
+	"snug/internal/cpu":         true,
+	"snug/internal/bus":         true,
+	"snug/internal/cmp":         true,
+	"snug/internal/core":        true,
+	"snug/internal/mem":         true,
+	"snug/internal/schemes":     true,
+	"snug/internal/sweep":       true,
+	"snug/internal/experiments": true,
+	"snug/internal/trace":       true,
+	"snug/internal/metrics":     true,
+	"snug/internal/workloads":   true,
+}
+
+// resultAffectingPath reports whether the import path is result-affecting.
+// Vet invokes analyzers on test variants with decorated import paths
+// ("p [p.test]"); the base path decides.
+func resultAffectingPath(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return ResultAffecting[path]
+}
+
+// modulePath reports whether path belongs to this module's non-vendored
+// code (the scope of seeddiscipline).
+func modulePath(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path == "snug" || strings.HasPrefix(path, "snug/")
+}
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*Analyzer{
+	MapOrder,
+	WallClock,
+	SeedDiscipline,
+	HotAlloc,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			pkg:      pkg,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// allowDirective is the suppression directive prefix; hotpathDirective
+// marks a function for the hotalloc analyzer.
+const (
+	allowDirective   = "//snug:allow"
+	hotpathDirective = "//snug:hotpath"
+)
+
+// allowedAt reports whether a //snug:allow directive for analyzer covers
+// pos: a directive suppresses its own line and the line directly below it
+// (so it can trail the offending statement or sit alone above it).
+func (pkg *Package) allowedAt(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	file := fileOf(pkg, pos)
+	if file == nil {
+		return false
+	}
+	if pkg.allows == nil {
+		pkg.allows = make(map[*ast.File]map[int][]string)
+	}
+	idx, ok := pkg.allows[file]
+	if !ok {
+		idx = buildAllowIndex(fset, file)
+		pkg.allows[file] = idx
+	}
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, name := range idx[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]string {
+	idx := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowDirective)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			idx[line] = append(idx[line], fields[0])
+		}
+	}
+	return idx
+}
+
+// isHotPath reports whether a function declaration carries the
+// //snug:hotpath directive in its doc comment.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+// Package linttest runs lint analyzers over GOPATH-style testdata trees
+// and checks their diagnostics against `// want` expectations — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, reimplemented
+// on the standard library so the module stays dependency-free.
+//
+// A testdata tree looks like
+//
+//	testdata/<analyzer>/src/<import/path>/<files>.go
+//
+// and a `// want "regexp"` comment at the end of a line asserts that the
+// analyzer reports a diagnostic on that line whose message matches the
+// regexp. Multiple expectations may follow one another: // want "a" "b".
+// Lines carrying //snug:allow directives assert the opposite simply by
+// having no want comment: an unexpected diagnostic fails the test.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snug/internal/lint"
+)
+
+// Run loads each package path from srcRoot/src, applies the analyzer, and
+// compares diagnostics against the tree's // want expectations.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(srcRoot, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, pkg, diags)
+	}
+}
+
+type loader struct {
+	src  string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*entry
+}
+
+type entry struct {
+	pkg *lint.Package
+	err error
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		src:  src,
+		fset: fset,
+		// Standard-library imports in testdata (time, sort, ...) are
+		// type-checked from GOROOT source.
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*entry),
+	}
+}
+
+func (ld *loader) load(path string) (*lint.Package, error) {
+	if e, ok := ld.pkgs[path]; ok {
+		return e.pkg, e.err
+	}
+	e := &entry{}
+	ld.pkgs[path] = e
+	e.pkg, e.err = ld.loadUncached(path)
+	return e.pkg, e.err
+}
+
+func (ld *loader) loadUncached(path string) (*lint.Package, error) {
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := impFunc(func(ipath string) (*types.Package, error) {
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(ipath))); err == nil {
+			dep, err := ld.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Pkg, nil
+		}
+		return ld.std.Import(ipath)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: imp}
+	tp, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{Fset: ld.fset, Files: files, Pkg: tp, Info: info}, nil
+}
+
+type impFunc func(path string) (*types.Package, error)
+
+func (f impFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe extracts the quoted expectations from a // want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, m[0], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil // each expectation matches once
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+			}
+		}
+	}
+}

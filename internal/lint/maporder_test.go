@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata/maporder", lint.MapOrder,
+		"snug/internal/cache", "other")
+}

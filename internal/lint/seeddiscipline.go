@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// SeedDiscipline enforces the seeding contract that keeps every simulation
+// a pure function of its identity: randomness enters the system only
+// through stats.NewRNG, and every seed must data-flow from job identity
+// (sweep.JobSeed, stats.Mix64, stats.HashString, a config or parameter
+// value) rather than being a compile-time constant.
+//
+// Two rules, applied to all non-test code in this module:
+//
+//   - importing math/rand or math/rand/v2 is an error: their generators
+//     and their global state are not part of the reproducibility contract
+//     (and math/rand's algorithm may change across Go releases);
+//   - stats.NewRNG(<constant>) is an error: a literal seed hardwires one
+//     stream instead of deriving it from the job's identity, silently
+//     unpairing scheme comparisons. Deriving expressions (cfg.Seed ^ 0xcc,
+//     Mix64(HashString(name))) are non-constant and pass.
+//
+// internal/stats itself is exempt — it defines the RNG.
+var SeedDiscipline = &Analyzer{
+	Name: "seeddiscipline",
+	Doc:  "requires stats.NewRNG with identity-derived seeds; bans math/rand and literal seeds",
+	Run:  runSeedDiscipline,
+}
+
+func runSeedDiscipline(pass *Pass) error {
+	if !modulePath(pass.Pkg.Path()) || pass.Pkg.Path() == "snug/internal/stats" {
+		return nil
+	}
+	for _, file := range pass.Files() {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in non-test code: simulator randomness must come from stats.NewRNG seeded via sweep.JobSeed/stats.Mix64", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewRNG" {
+				return true
+			}
+			obj := pass.Info.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "snug/internal/stats" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+				pass.Reportf(call.Pos(),
+					"stats.NewRNG with constant seed %s: seeds must data-flow from job identity (sweep.JobSeed, stats.Mix64, config seeds), never a literal",
+					tv.Value)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestSeedDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/seeddiscipline", lint.SeedDiscipline,
+		"snug/internal/core", "outside")
+}

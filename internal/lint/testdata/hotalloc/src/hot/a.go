@@ -1,0 +1,51 @@
+// Package hot exercises the hotalloc analyzer: only functions annotated
+// //snug:hotpath are constrained.
+package hot
+
+// T is a fixture with allocation-prone state.
+type T struct {
+	buf []int
+	m   map[int]int
+}
+
+// Bad violates every hotalloc rule at once.
+//
+//snug:hotpath
+func (t *T) Bad(n int) int {
+	t.buf = append(t.buf, n)     // want "append in hot path Bad"
+	s := make([]int, n)          // want "make in hot path Bad"
+	p := new(int)                // want "new in hot path Bad"
+	t.m[n] = *p                  // want "map write in hot path Bad"
+	t.m[n]++                     // want "map write in hot path Bad"
+	delete(t.m, n)               // want "map delete in hot path Bad"
+	f := func() int { return n } // want "capturing closure in hot path Bad"
+	return len(s) + f()
+}
+
+// Allowed uses annotated exceptions.
+//
+//snug:hotpath
+func (t *T) Allowed(n int) {
+	t.buf = append(t.buf, n) //snug:allow hotalloc amortized growth to steady-state capacity
+}
+
+// CleanHot stays within the rules: index writes to slices, arithmetic,
+// and a non-capturing closure are all fine.
+//
+//snug:hotpath
+func (t *T) CleanHot(n int) int {
+	if len(t.buf) > 0 {
+		t.buf[0] = n
+	}
+	f := func(x int) int { return x * 2 }
+	return f(n)
+}
+
+// NotHot is unannotated: it may allocate freely.
+func (t *T) NotHot(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

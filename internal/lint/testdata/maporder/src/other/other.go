@@ -1,0 +1,14 @@
+// Package other is outside the result-affecting set: map iteration is not
+// flagged here.
+package other
+
+var m = map[string]int{"a": 1}
+
+// Free ranges over a map without any diagnostic.
+func Free() int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,12 @@
+// Package outside is not part of module snug: seeddiscipline does not
+// apply here.
+package outside
+
+import (
+	"math/rand"
+)
+
+// Free may use math/rand without any diagnostic.
+func Free() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,10 @@
+package core
+
+import (
+	"math/rand" // want "import of math/rand"
+)
+
+// UsesGlobalRand draws from the banned global generator.
+func UsesGlobalRand() int {
+	return rand.Int()
+}

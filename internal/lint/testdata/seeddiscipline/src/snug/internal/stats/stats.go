@@ -1,0 +1,16 @@
+// Package stats stubs snug/internal/stats for the seeddiscipline fixture:
+// the analyzer resolves NewRNG/Mix64 by package path, so the stub carries
+// the real import path inside the testdata tree.
+package stats
+
+// RNG is a stub deterministic generator.
+type RNG struct{ s uint64 }
+
+// NewRNG returns an RNG seeded from seed.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed} }
+
+// Mix64 is a stub splitmix64 finalizer.
+func Mix64(x uint64) uint64 { return x * 0x9e3779b97f4a7c15 }
+
+// HashString is a stub identity hash.
+func HashString(s string) uint64 { return uint64(len(s)) }

@@ -1,0 +1,12 @@
+// Package other is outside the result-affecting set: wall-clock reads are
+// not flagged here.
+package other
+
+import (
+	"time"
+)
+
+// Free reads the clock without any diagnostic.
+func Free() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,44 @@
+// Package sweep is a wallclock test fixture posing as the result-affecting
+// package snug/internal/sweep.
+package sweep
+
+import (
+	"time"
+)
+
+// Bad reads the wall clock where a result could see it.
+func Bad() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// BadSince derives a duration from the wall clock.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// BadSleep waits on the wall clock.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+// BadTimer builds a wall-clock timer.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "wall-clock read time.NewTimer"
+}
+
+// Progress is the sanctioned pattern: annotated ETA-only uses.
+func Progress(report func(time.Duration)) {
+	start := time.Now()       //snug:allow wallclock progress/ETA only, never feeds results
+	report(time.Since(start)) //snug:allow wallclock progress/ETA only, never feeds results
+}
+
+// Types may mention time freely; only clock reads are flagged.
+type Snapshot struct {
+	Elapsed time.Duration
+	ETA     time.Duration
+}
+
+// Derived arithmetic on durations is fine.
+func Derived(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the cmd/go vet-tool protocol (the same contract
+// x/tools' unitchecker speaks), so `go vet -vettool=$(which snuglint) ./...`
+// drives the suite one compilation unit at a time with the go command's
+// own caching and package graph:
+//
+//   - `snuglint -V=full` prints a stable tool identity (cmd/go hashes it
+//     into the build cache key);
+//   - `snuglint -flags` prints the tool's flag set as JSON (none);
+//   - `snuglint <unit>.cfg` analyzes one package described by the JSON
+//     config cmd/go writes, type-checking against the compiler export
+//     data cmd/go already produced for the build.
+//
+// The tool never needs facts from dependencies (no analyzer here is
+// modular), so dependency units (VetxOnly) are satisfied by writing an
+// empty facts file.
+
+// vetVersion is the identity cmd/go caches vet results under. Bump it
+// whenever analyzer behavior changes so stale clean-verdicts are not
+// replayed from the build cache.
+const vetVersion = "snuglint version v1-stdlib"
+
+// vetConfig mirrors the JSON config cmd/go hands a vet tool for one
+// compilation unit. Field names are the protocol; unused ones are omitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetEntry handles the vet-protocol invocations. It returns false if the
+// arguments are not a vet-protocol call (the caller should run standalone
+// mode); otherwise it runs the protocol and exits the process itself.
+func VetEntry(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full" || args[0] == "--V=full":
+		fmt.Println(vetVersion)
+		os.Exit(0)
+	case args[0] == "-flags" || args[0] == "--flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		code, err := vetUnit(args[0], os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snuglint: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+	return false
+}
+
+// vetUnit analyzes the single compilation unit described by cfgPath,
+// printing diagnostics to w. It returns the process exit code: 0 clean,
+// 2 diagnostics found (the unitchecker convention).
+func vetUnit(cfgPath string, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// Always produce the facts output cmd/go expects, even for units we
+	// skip: the suite exports no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data cmd/go compiled for the
+	// build, exactly as the compiler itself will see them.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+	info := newTypesInfo()
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tp, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{Fset: fset, Files: files, Pkg: tp, Info: info}
+	diags, err := Run(pkg, Analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

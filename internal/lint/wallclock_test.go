@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.WallClock,
+		"snug/internal/sweep", "other")
+}

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"snug/internal/cmp"
+)
+
+// TestElapsedNeverFeedsResults pins the justification behind the
+// //snug:allow wallclock annotations in Run: the wall clock read for
+// Progress.Elapsed/ETA must never reach results or checkpoint bytes.
+// Two sweeps of the same jobs — one instant, one whose jobs stall on the
+// wall clock long enough to move every Elapsed value — must produce
+// deep-equal results and byte-identical stores.
+func TestElapsedNeverFeedsResults(t *testing.T) {
+	run := func(delay time.Duration, path string) (map[string]cmp.RunResult, []Progress) {
+		var progress []Progress
+		jobs := make([]Job, 6)
+		for i := range jobs {
+			key := fmt.Sprintf("job-%02d", i)
+			jobs[i] = Job{Key: key, Run: func(seed uint64) (cmp.RunResult, error) {
+				time.Sleep(delay)
+				return cmp.RunResult{Scheme: key, Cycles: int64(seed >> 1)}, nil
+			}}
+		}
+		res, err := Run(Options{
+			Parallelism: 1, // keep store append order identical across runs
+			BaseSeed:    7,
+			Checkpoint:  path,
+			Fingerprint: "elapsed-test/v1",
+			OnProgress:  func(p Progress) { progress = append(progress, p) },
+		}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, progress
+	}
+
+	dir := t.TempDir()
+	fastPath := filepath.Join(dir, "fast.jsonl")
+	slowPath := filepath.Join(dir, "slow.jsonl")
+	fast, fastProg := run(0, fastPath)
+	slow, slowProg := run(3*time.Millisecond, slowPath)
+
+	if !reflect.DeepEqual(fast, slow) {
+		t.Error("results differ between instant and delayed sweeps: wall time leaked into results")
+	}
+	fastBytes, err := os.ReadFile(fastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBytes, err := os.ReadFile(slowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fastBytes, slowBytes) {
+		t.Error("checkpoint stores differ between instant and delayed sweeps: wall time leaked into checkpoint bytes")
+	}
+
+	// The wall clock is allowed to (and here, must) reach the progress
+	// stream: the delayed sweep's total elapsed strictly exceeds the
+	// instant sweep's, proving the sleep really moved the clock the
+	// results were just shown not to observe.
+	if len(fastProg) == 0 || len(slowProg) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	if last := slowProg[len(slowProg)-1].Elapsed; last < 6*3*time.Millisecond {
+		t.Errorf("delayed sweep elapsed %v, want >= 18ms: delay did not register", last)
+	}
+}
+
+// TestResultSchemaCarriesNoWallClock walks the result and store record
+// types and asserts no field is a time.Time or time.Duration: elapsed
+// time cannot feed results structurally, not just in today's code paths.
+func TestResultSchemaCarriesNoWallClock(t *testing.T) {
+	var visit func(t *testing.T, typ reflect.Type, path string, seen map[reflect.Type]bool)
+	timeTime := reflect.TypeOf(time.Time{})
+	timeDur := reflect.TypeOf(time.Duration(0))
+	visit = func(t *testing.T, typ reflect.Type, path string, seen map[reflect.Type]bool) {
+		if typ == timeTime || typ == timeDur {
+			t.Errorf("%s has wall-clock type %s", path, typ)
+			return
+		}
+		switch typ.Kind() {
+		case reflect.Struct:
+			if seen[typ] {
+				return
+			}
+			seen[typ] = true
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				visit(t, f.Type, path+"."+f.Name, seen)
+			}
+		case reflect.Ptr, reflect.Slice, reflect.Array, reflect.Map:
+			visit(t, typ.Elem(), path+"[]", seen)
+		}
+	}
+	visit(t, reflect.TypeOf(cmp.RunResult{}), "cmp.RunResult", map[reflect.Type]bool{})
+}

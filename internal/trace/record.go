@@ -218,6 +218,8 @@ func (p *Replay) Name() string { return p.rec.name }
 func (p *Replay) Pos() int64 { return p.pos }
 
 // Next implements isa.Stream, decoding the next recorded instruction.
+//
+//snug:hotpath
 func (p *Replay) Next(in *isa.Instr) {
 	if p.pos >= p.limit {
 		p.moreInstructions()
@@ -271,6 +273,8 @@ func (p *Replay) Next(in *isa.Instr) {
 // live in locals across the batch and the published-window checks run once
 // per window instead of once per instruction, so batched replay decodes at
 // memory-scan speed. Behaviour is identical to len(dst) Next calls.
+//
+//snug:hotpath
 func (p *Replay) NextBatch(dst []isa.Instr) int {
 	n := 0
 	for n < len(dst) {

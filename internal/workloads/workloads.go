@@ -7,6 +7,7 @@ package workloads
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"snug/internal/trace"
@@ -169,8 +170,16 @@ func ValidateCombos(combos []Combo, width int) error {
 		if want == nil {
 			return fmt.Errorf("workloads: combo %s has unknown class %s", combo.Name, combo.Class)
 		}
+		// Check classes in a fixed order so the same mismatch is always
+		// the one reported (map iteration order would pick arbitrarily).
+		classes := make([]trace.Class, 0, len(want))
+		for cls := range want {
+			classes = append(classes, cls)
+		}
+		slices.Sort(classes)
 		total := 0
-		for cls, n := range want {
+		for _, cls := range classes {
+			n := want[cls]
 			if counts[cls] != n*rep {
 				return fmt.Errorf("workloads: combo %s (%s) has %d class-%s members, want %d",
 					combo.Name, combo.Class, counts[cls], cls, n*rep)
