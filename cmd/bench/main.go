@@ -9,9 +9,15 @@
 //
 // Usage:
 //
-//	bench -out BENCH_PR5.json                      # write a new baseline (all benchmarks)
+//	bench -out BENCH_PR7.json                      # write a new baseline (all benchmarks)
 //	bench -out quick.json -bench SimulatorSpeed    # subset
-//	bench -check BENCH_PR5.json -tolerance 0.30    # fail if a rate metric regressed >30%
+//	bench -check BENCH_PR7.json -tolerance 0.30    # fail if a rate metric regressed >30%
+//
+// Baselines record the recording host's GOMAXPROCS. Shape-sensitive
+// benchmarks (internal/bench marks them; today SNUG16CoreParallel) scale
+// with host parallelism, so when the checking host's GOMAXPROCS differs
+// from the baseline's they are reported but not gated — a loud warning
+// says so — and -strict-shape upgrades the mismatch to a hard refusal.
 package main
 
 import (
@@ -77,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	check := fs.String("check", "", "baseline JSON file to check the current machine against")
 	names := fs.String("bench", "", "comma-separated benchmark subset (default: all for -out, SimulatorSpeed for -check)")
 	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional sim-cycles/s regression in -check mode (runner noise)")
+	strictShape := fs.Bool("strict-shape", false, "in -check mode, refuse to run when the host GOMAXPROCS differs from the baseline's instead of skipping shape-sensitive benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// In check mode, load the baseline before spending benchmark time, so
 	// a missing or corrupt file fails immediately.
 	var base Baseline
+	shapeMismatch := false
 	if *check != "" {
 		data, err := os.ReadFile(*check)
 		if err != nil {
@@ -97,6 +105,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if err := json.Unmarshal(data, &base); err != nil {
 			return fmt.Errorf("parse %s: %w", *check, err)
+		}
+		// A parallel (shape-sensitive) benchmark's rate scales with host
+		// threads, so a GOMAXPROCS mismatch makes its baseline comparison
+		// measure the runner, not the code.
+		if host := runtime.GOMAXPROCS(0); base.GOMAXPROCS != host {
+			if *strictShape {
+				return fmt.Errorf("host GOMAXPROCS %d != baseline %s GOMAXPROCS %d (-strict-shape)", host, *check, base.GOMAXPROCS)
+			}
+			shapeMismatch = true
+			fmt.Fprintf(stderr, "bench: WARNING: host GOMAXPROCS %d != baseline GOMAXPROCS %d; shape-sensitive benchmarks will run but NOT be gated (pass -strict-shape to refuse instead)\n",
+				host, base.GOMAXPROCS)
 		}
 	}
 
@@ -154,7 +173,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	return checkBaseline(stdout, *check, base, results, *tolerance)
+	return checkBaseline(stdout, *check, base, results, *tolerance, shapeMismatch)
+}
+
+// shapeSensitive reports whether the named benchmark's rate scales with
+// host parallelism (the internal/bench registry's ShapeSensitive mark).
+func shapeSensitive(name string) bool {
+	for _, e := range bench.ByName {
+		if e.Name == name {
+			return e.ShapeSensitive
+		}
+	}
+	return false
 }
 
 // lookup resolves a benchmark name against the internal/bench registry.
@@ -174,14 +204,19 @@ func lookup(name string) (func(*testing.B), error) {
 // checkBaseline compares the measured rate metrics (sim-cycles/s, ops/s)
 // against the baseline, failing on a regression beyond the tolerance.
 // Benchmarks without any gated metric (or absent from the baseline) are
-// reported but not gated.
-func checkBaseline(stdout io.Writer, path string, base Baseline, results map[string]Result, tolerance float64) error {
+// reported but not gated, and under a GOMAXPROCS mismatch neither are the
+// shape-sensitive ones.
+func checkBaseline(stdout io.Writer, path string, base Baseline, results map[string]Result, tolerance float64, shapeMismatch bool) error {
 	var failures []string
 	compared := 0
 	for name, res := range results {
 		want, ok := base.Benchmarks[name]
 		if !ok {
 			fmt.Fprintf(stdout, "%s: not in baseline %s; skipping\n", name, path)
+			continue
+		}
+		if shapeMismatch && shapeSensitive(name) {
+			fmt.Fprintf(stdout, "%s: shape-sensitive and host GOMAXPROCS differs from baseline; NOT gated\n", name)
 			continue
 		}
 		matched := false

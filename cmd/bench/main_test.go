@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -125,6 +126,64 @@ func TestCheckRefusesEmptyComparison(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "checked nothing") {
 		t.Errorf("error %q does not explain the empty comparison", err)
+	}
+}
+
+// TestCheckShapeMismatchSkipsParallel: under a GOMAXPROCS mismatch a
+// shape-sensitive benchmark must not be gated — even against a baseline it
+// could never beat — and with nothing else selected the empty-comparison
+// guard turns the check into a refusal rather than a silent pass.
+func TestCheckShapeMismatchSkipsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "shape.json")
+	base := Baseline{
+		GOMAXPROCS: runtime.GOMAXPROCS(0) + 1,
+		Benchmarks: map[string]Result{
+			"SNUG16CoreParallel": {Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"sim-cycles/s": 1e15}},
+		},
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	err = run([]string{"-check", path, "-bench", "SNUG16CoreParallel"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "checked nothing") {
+		t.Fatalf("err = %v, want the empty-comparison refusal", err)
+	}
+	if !strings.Contains(errOut.String(), "WARNING") {
+		t.Errorf("stderr missing the GOMAXPROCS warning:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "NOT gated") {
+		t.Errorf("stdout does not say the benchmark was skipped:\n%s", out.String())
+	}
+}
+
+// TestCheckStrictShapeRefuses: -strict-shape turns a GOMAXPROCS mismatch
+// into an immediate error, before any benchmark time is spent.
+func TestCheckStrictShapeRefuses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "strict.json")
+	base := Baseline{
+		GOMAXPROCS: runtime.GOMAXPROCS(0) + 1,
+		Benchmarks: map[string]Result{
+			"SimulatorSpeed": {Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"sim-cycles/s": 1}},
+		},
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-check", path, "-strict-shape"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("err = %v, want a GOMAXPROCS mismatch refusal", err)
 	}
 }
 

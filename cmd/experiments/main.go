@@ -75,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	quiet := fs.Bool("quiet", false, "suppress per-run progress on stderr")
 	replay := fs.Bool("replay", true, "record each cell's instruction streams once and replay them to every scheme (bit-identical results); false regenerates streams live per run")
 	ablation := fs.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
+	intra := fs.Bool("intra", false, "run each simulation on the intra-run epoch engine: one goroutine per simulated core, bit-identical results (see DESIGN.md)")
+	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = default); affects scheduling only, never results")
 	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -117,7 +119,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		return runAblation(stdout, cfg, *cycles, *par, *replay)
+		return runAblation(stdout, cfg, *cycles, *par, *replay,
+			cmp.Engine{Intra: *intra, EpochCycles: *epoch})
 	}
 
 	if *resume && *out == "" {
@@ -150,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			Parallelism: *par, Classes: cls, Schemes: sch,
 			Checkpoint: *out, Progress: progress, Replicates: *reps,
 			NoReplay: !*replay,
+			Engine:   cmp.Engine{Intra: *intra, EpochCycles: *epoch},
 		}, *csvDir)
 	}
 
@@ -164,6 +168,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
 		Schemes: sch, Checkpoint: *out, Progress: progress, Replicates: *reps,
 		NoReplay: !*replay,
+		Engine:   cmp.Engine{Intra: *intra, EpochCycles: *epoch},
 	})
 	if err != nil {
 		return err
@@ -245,7 +250,7 @@ func writeCSV(path string, write func(io.Writer) error) error {
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(stdout io.Writer, base config.System, cycles int64, par int, replay bool) error {
+func runAblation(stdout io.Writer, base config.System, cycles int64, par int, replay bool, eng cmp.Engine) error {
 	// The quad-core A+A+D+D mix, replicated to the configured width the
 	// same way workloads.ScaleOut widens Table 8.
 	var bench []string
@@ -291,9 +296,9 @@ func runAblation(stdout io.Writer, base config.System, cycles int64, par int, re
 			cfg.Seed = seed
 			mut(&cfg)
 			if recordings != nil {
-				return cmp.RunStreams(cfg, scheme, trace.Replays(recordings), cycles)
+				return cmp.RunStreamsEngine(cfg, scheme, trace.Replays(recordings), cycles, eng)
 			}
-			return cmp.RunWorkload(cfg, scheme, bench, cycles)
+			return cmp.RunWorkloadEngine(cfg, scheme, bench, cycles, eng)
 		}}
 	}
 	jobs := []sweep.Job{job("L2P", "L2P", func(*config.System) {})}

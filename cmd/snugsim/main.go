@@ -67,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	reps := fs.Int("reps", 1, "independently-seeded replicates per scheme; >1 reports mean ±95% CI")
 	scale := fs.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
 	replay := fs.Bool("replay", true, "record the workload's instruction streams once and replay them to every compared scheme (bit-identical results); false regenerates streams live per run")
+	intra := fs.Bool("intra", false, "run each simulation on the intra-run epoch engine: one goroutine per simulated core, bit-identical results (see DESIGN.md)")
+	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = default); affects scheduling only, never results")
 	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
 	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -154,10 +156,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			Run: func(jobSeed uint64) (cmp.RunResult, error) {
 				c := cfg
 				c.Seed = jobSeed
+				eng := cmp.Engine{Intra: *intra, EpochCycles: *epoch}
 				if recs, ok := recordings[jobSeed]; ok {
-					return cmp.RunStreams(c, s, trace.Replays(recs), *cycles)
+					return cmp.RunStreamsEngine(c, s, trace.Replays(recs), *cycles, eng)
 				}
-				return cmp.RunWorkload(c, s, bench, *cycles)
+				return cmp.RunWorkloadEngine(c, s, bench, *cycles, eng)
 			},
 		})
 	}

@@ -93,7 +93,20 @@ func SchemeSNUG(b *testing.B) { SchemeOnMix(b, "SNUG") }
 // occupancy index now answers non-holding peers in O(1). Tracked in the
 // baseline next to the quad-core SimulatorSpeed so width-dependent
 // regressions are caught separately.
-func SNUG16Core(b *testing.B) {
+func SNUG16Core(b *testing.B) { snug16Core(b, cmp.Engine{}) }
+
+// SNUG16CoreParallel is SNUG16Core on the intra-run epoch engine: the same
+// 16-core replayed simulation, stepped by one goroutine per simulated core.
+// Results are byte-identical to SNUG16Core; only the wall-clock rate
+// changes, and it scales with host parallelism — the benchmark is
+// shape-sensitive, so cmd/bench gates it only against a baseline recorded
+// at the same GOMAXPROCS.
+func SNUG16CoreParallel(b *testing.B) { snug16Core(b, cmp.Engine{Intra: true}) }
+
+// snug16Core is the shared body: both variants replay identical recordings
+// through identical systems, so their sim-cycles/s rates are directly
+// comparable — the gap is the epoch engine's speedup.
+func snug16Core(b *testing.B, eng cmp.Engine) {
 	cfg, err := config.TestScaleN(16)
 	if err != nil {
 		b.Fatal(err)
@@ -109,12 +122,12 @@ func SNUG16Core(b *testing.B) {
 		b.Fatal(err)
 	}
 	recs := trace.RecordAll(streams)
-	if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+	if _, err := cmp.RunStreamsEngine(cfg, "SNUG", trace.Replays(recs), Cycles, eng); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), Cycles); err != nil {
+		if _, err := cmp.RunStreamsEngine(cfg, "SNUG", trace.Replays(recs), Cycles, eng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -213,16 +226,22 @@ func FigureMetric(b *testing.B, metric metrics.MetricKind) {
 func Figure9Throughput(b *testing.B) { FigureMetric(b, metrics.MetricThroughput) }
 
 // ByName maps the exported benchmark names to their bodies, in the order
-// cmd/bench runs and reports them.
+// cmd/bench runs and reports them. ShapeSensitive marks benchmarks whose
+// rate scales with host parallelism (GOMAXPROCS): cmd/bench -check gates
+// them only when the baseline was recorded at the host's GOMAXPROCS, since
+// comparing a 2-thread run against an 8-thread baseline measures the
+// runner, not the code.
 var ByName = []struct {
-	Name string
-	Fn   func(*testing.B)
+	Name           string
+	Fn             func(*testing.B)
+	ShapeSensitive bool
 }{
-	{"SimulatorSpeed", SimulatorSpeed},
-	{"SimulatorSpeedLive", SimulatorSpeedLive},
-	{"SNUG16Core", SNUG16Core},
-	{"CacheOps", CacheOps},
-	{"BusContention", BusContention},
-	{"SchemeSNUG", SchemeSNUG},
-	{"Figure9Throughput", Figure9Throughput},
+	{Name: "SimulatorSpeed", Fn: SimulatorSpeed},
+	{Name: "SimulatorSpeedLive", Fn: SimulatorSpeedLive},
+	{Name: "SNUG16Core", Fn: SNUG16Core},
+	{Name: "SNUG16CoreParallel", Fn: SNUG16CoreParallel, ShapeSensitive: true},
+	{Name: "CacheOps", Fn: CacheOps},
+	{Name: "BusContention", Fn: BusContention},
+	{Name: "SchemeSNUG", Fn: SchemeSNUG},
+	{Name: "Figure9Throughput", Fn: Figure9Throughput},
 }

@@ -73,8 +73,15 @@ type calendar struct {
 // Bus is the occupancy model. The split-transaction bus has independent
 // address and data paths: snoop/request broadcasts (KindSnoop) arbitrate
 // for the address path, block transfers and write-back drains for the data
-// path. It is not safe for concurrent use; the quantum-stepped simulation
-// serializes access by construction.
+// path.
+//
+// The Bus is not safe for concurrent use and is deliberately unlocked: it
+// is shared cross-core state owned by the scheme controller, and both
+// execution engines serialize every controller call on one goroutine (the
+// serial driver, or the epoch engine's coordinator — core goroutines never
+// reach the bus). The -race differential tests in internal/cmp dynamically
+// assert this confinement; the snuglint coordinator analyzer checks it
+// statically.
 type Bus struct {
 	widthBytes int
 	speedRatio int   // core cycles per bus cycle

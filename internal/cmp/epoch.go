@@ -1,0 +1,211 @@
+// The epoch/barrier intra-run execution engine: one goroutine per
+// simulated core plus a coordinator, producing results byte-identical to
+// the serial engine at every host parallelism.
+//
+// # Why this parallelizes
+//
+// A core's timing model and its private L1 are pure per-core state: the
+// instruction stream is a fixed sequence (generators take no timing
+// feedback), so everything a core computes between controller calls
+// depends only on the completion times the controller returned for its own
+// earlier misses — never on *when*, in wall-clock terms, other cores were
+// simulated. All cross-core state (L2 slices, the snoop bus, write
+// buffers, DRAM, scheme metadata) is mutated exclusively through
+// schemes.Controller calls. The engine therefore lets every core run
+// freely through its L1-hit stretches on its own goroutine and funnels the
+// controller calls — the only order-sensitive work — through a single
+// coordinator goroutine that replays them in exactly the serial engine's
+// order.
+//
+// # The park/drain protocol
+//
+// The serial engine's arbitration order within one quantum is core-major:
+// all of core 0's controller calls, then all of core 1's, ..., then
+// Controller.Tick at the boundary. The epoch engine reproduces it with a
+// per-core message channel:
+//
+//   - a core goroutine that misses in its L1 *parks*: it pushes an access
+//     message (timestamp, address, write flag, and the L1 victim
+//     writeback, if any) and blocks until the coordinator replies with the
+//     data-available cycle;
+//   - at each quantum boundary it pushes a boundary token and immediately
+//     continues into the next quantum — the run-ahead that overlaps its
+//     compute with other cores' draining;
+//   - the coordinator drains core 0's channel up to its boundary token,
+//     calling Controller.Access / WritebackL1 with the parked arguments —
+//     the same calls, same arguments, same order as the serial loop — then
+//     core 1's, and so on, then calls Tick and starts the next quantum.
+//
+// Each parked access carries at most one L1 writeback because the L1
+// insert that evicts the victim happens at the same miss that parks; the
+// coordinator applies Access before WritebackL1, matching corePath.access.
+//
+// The channel capacity is the epoch: a core can buffer at most
+// epochQuanta boundary tokens before its next push blocks, so no core
+// runs more than the epoch window ahead of the coordinator. The window
+// bounds memory and skew only — results are identical for every window
+// ≥ 1 quantum, which the differential tests pin down to the degenerate
+// Engine{EpochCycles: 1} case.
+//
+// # Why results are byte-identical
+//
+// By induction over the global controller-call sequence: the k-th call the
+// coordinator issues has the same arguments as the serial engine's k-th
+// call, because the issuing core computed them from its stream prefix and
+// the replies to its own earlier calls — both equal by induction — and the
+// controller, serving the same calls in the same order from the same
+// initial state, returns the same reply. Core-local state (cpu.Core, L1,
+// stream cursors) evolves identically for the same reason. The golden
+// digest and the randomized differential suite verify this end to end
+// under -race.
+package cmp
+
+import (
+	"sync"
+
+	"snug/internal/addr"
+	"snug/internal/cache"
+	"snug/internal/cpu"
+	"snug/internal/isa"
+)
+
+// coreMsg is one parked unit of coordinator work from a core goroutine:
+// either a memory access (with an optional piggybacked L1 writeback) or a
+// quantum-boundary token.
+type coreMsg struct {
+	accessAt int64     // Controller.Access timestamp (miss time + L1 latency)
+	wbAt     int64     // Controller.WritebackL1 timestamp (the raw access time)
+	a        addr.Addr // private-rebased miss address
+	wb       addr.Addr // L1 victim writeback address (valid when hasWB)
+	write    bool
+	hasWB    bool
+	boundary bool // quantum-boundary token: no controller work, ends the core's drain
+}
+
+// epochWorker is one core goroutine's side of the protocol. It owns the
+// core's private state (cpu.Core, L1, stream) for the duration of a run;
+// the reply channel gives each park its happens-before edge back from the
+// coordinator.
+type epochWorker struct {
+	core   *cpu.Core
+	stream isa.Stream
+	path   *corePath
+	mem    cpu.MemFunc
+	req    chan coreMsg
+	reply  chan int64
+}
+
+// access is the epoch engine's cpu.MemFunc: the core-goroutine half of the
+// park/drain handshake. L1 hits complete locally; misses perform the L1
+// insert (private state, invisible to the controller) to discover the
+// victim, park the access+writeback at the coordinator and block for the
+// completion time. It must never touch the controller or anything behind
+// it — that is the coordinator's, and snuglint's coordinator analyzer
+// checks it stays that way.
+//
+//snug:coreside
+//snug:hotpath
+func (w *epochWorker) access(now int64, a addr.Addr, write bool) int64 {
+	p := w.path
+	pa := a | p.base
+	if p.l1.Lookup(pa, write) {
+		return now + p.l1Lat
+	}
+	m := coreMsg{accessAt: now + p.l1Lat, wbAt: now, a: pa, write: write}
+	// The serial engine calls Controller.Access before the L1 insert, but
+	// the two commute: the controller never reads L1 state and the insert
+	// never reads controller state, so discovering the victim first lets
+	// one park carry both calls.
+	v := p.l1.Insert(pa, cache.Block{Dirty: write, Owner: int8(p.core)})
+	if v.Valid && v.Dirty {
+		m.hasWB = true
+		m.wb = p.geom.Rebuild(v.Tag, p.geom.Index(pa))
+	}
+	w.req <- m
+	return <-w.reply
+}
+
+// runQuanta advances the worker's core through every quantum boundary in
+// [start, end), pushing a boundary token after each one. The token send
+// doubles as the epoch barrier: once the channel holds a full epoch of
+// tokens the send blocks until the coordinator catches up.
+//
+//snug:coreside
+func (w *epochWorker) runQuanta(start, end, quantum int64) {
+	for clock := start; clock < end; {
+		boundary := clock + quantum
+		if boundary > end {
+			boundary = end
+		}
+		w.core.Run(boundary, w.stream, w.mem)
+		w.req <- coreMsg{boundary: true}
+		clock = boundary
+	}
+}
+
+// runEpoch is the coordinator: it drives the same quantum loop as the
+// serial Run, but instead of stepping cores inline it drains their parked
+// controller work, core-major per quantum, and ticks the controller at
+// each boundary. All shared below-L1 state is touched only here.
+//
+// epochCycles ≤ 0 selects the default window; any positive value is
+// rounded down to whole quanta with a floor of one.
+//
+//snug:coordinator
+func (s *System) runEpoch(cycles, epochCycles int64) RunResult {
+	q := s.cfg.Quantum
+	depth := epochCycles / q
+	if epochCycles <= 0 {
+		depth = defaultEpochQuanta
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	start := s.clock
+	end := start + cycles
+
+	workers := make([]*epochWorker, len(s.cores))
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &epochWorker{
+			core:   s.cores[i],
+			stream: s.streams[i],
+			path:   &s.paths[i],
+			// depth boundary tokens plus the in-flight access a worker may
+			// park before its next token: the buffer is the epoch window.
+			req:   make(chan coreMsg, depth+1),
+			reply: make(chan int64, 1),
+		}
+		w.mem = w.access
+		workers[i] = w
+		wg.Add(1)
+		go func(w *epochWorker) {
+			defer wg.Done()
+			w.runQuanta(start, end, q)
+		}(w)
+	}
+
+	for s.clock < end {
+		boundary := s.clock + q
+		if boundary > end {
+			boundary = end
+		}
+		for i, w := range workers {
+			for {
+				m := <-w.req
+				if m.boundary {
+					break
+				}
+				done := s.ctrl.Access(i, m.accessAt, m.a, m.write)
+				if m.hasWB {
+					s.ctrl.WritebackL1(i, m.wbAt, m.wb)
+				}
+				w.reply <- done
+			}
+		}
+		s.ctrl.Tick(boundary)
+		s.clock = boundary
+	}
+	wg.Wait()
+	return s.result()
+}

@@ -1,0 +1,156 @@
+package cmp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snug/internal/cmp"
+	"snug/internal/config"
+	"snug/internal/isa"
+	"snug/internal/schemes"
+	"snug/internal/trace"
+)
+
+// TestGoldenSNUGDigestEpoch pins the epoch engine to the exact digest of
+// TestGoldenSNUGDigest: the intra-run parallel engine must reproduce the
+// serial golden run bit for bit, at any host parallelism. CI runs this
+// under -race at GOMAXPROCS 2 and 8.
+func TestGoldenSNUGDigestEpoch(t *testing.T) {
+	const want = "fb8ac38b40b7bdf7"
+	cfg := config.TestScale()
+	res, err := cmp.RunWorkloadEngine(cfg, "SNUG", goldenBench, goldenCycles,
+		cmp.Engine{Intra: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenDigest(res); got != want {
+		t.Fatalf("epoch-engine golden SNUG digest = %s, want %s\n"+
+			"The epoch engine diverged from the serial engine. This is an engine bug,\n"+
+			"never a digest to update: fix the coordinator's replay order instead.",
+			got, want)
+	}
+}
+
+// epochWindows is the run-ahead sweep of the differential suite: the
+// degenerate one-cycle window (floors to one quantum), exactly one quantum,
+// a non-multiple of the quantum (rounds down), a deep window, and 0 (the
+// default). Results must be identical across all of them.
+var epochWindows = []int64{1, 100, 250, 800, 0}
+
+// TestEpochSerialDifferential runs randomized configurations — core count,
+// seed, benchmark mix, run length drawn from a fixed-seed generator — under
+// every scheme family, and requires the epoch engine's RunResult digest to
+// be byte-identical to the serial engine's at every epoch window. This is
+// the test that fails if the coordinator's drain order ever deviates from
+// the serial engine's core-major arbitration.
+func TestEpochSerialDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed_e90c)) // fixed: the sweep must be reproducible
+	pool := []string{"ammp", "parser", "swim", "mesa", "mcf", "vortex"}
+	coreChoices := []int{2, 4, 8}
+	for _, scheme := range []string{"L2P", "L2S", "CC(75%)", "DSR", "SNUG"} {
+		cores := coreChoices[rng.Intn(len(coreChoices))]
+		cfg, err := config.TestScaleN(cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 0x5eed_0000 + uint64(rng.Uint32())
+		cycles := 100_000 + rng.Int63n(3)*25_000
+		benchmarks := make([]string, cores)
+		for i := range benchmarks {
+			benchmarks[i] = pool[rng.Intn(len(pool))]
+		}
+
+		serial, err := cmp.RunWorkload(cfg, scheme, benchmarks, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := goldenDigest(serial)
+		for _, window := range epochWindows {
+			par, err := cmp.RunWorkloadEngine(cfg, scheme, benchmarks, cycles,
+				cmp.Engine{Intra: true, EpochCycles: window})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := goldenDigest(par); got != want {
+				t.Errorf("%s cores=%d seed=%#x cycles=%d epoch=%d: digest %s != serial %s",
+					scheme, cores, cfg.Seed, cycles, window, got, want)
+			}
+		}
+	}
+}
+
+// TestEpochReplayDifferential drives the epoch engine over recorded-and-
+// replayed streams: replay cursors are extended lazily under concurrent
+// core goroutines, so this exercises the recording's thread safety as well
+// as the engine (CI runs it under -race).
+func TestEpochReplayDifferential(t *testing.T) {
+	cfg := config.TestScale()
+	const cycles = 150_000
+	streams, err := cmp.WorkloadStreams(cfg, goldenBench, cmp.PhaseRefs(cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := trace.RecordAll(streams)
+	serial, err := cmp.RunStreams(cfg, "SNUG", trace.Replays(recs), cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cmp.RunStreamsEngine(cfg, "SNUG", trace.Replays(recs), cycles,
+		cmp.Engine{Intra: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg, pg := goldenDigest(serial), goldenDigest(par); sg != pg {
+		t.Errorf("epoch replay digest %s != serial replay digest %s", pg, sg)
+	}
+}
+
+// noEpochController strips the EpochSafe capability from a real controller:
+// embedding the interface promotes only Controller's methods, so the
+// wrapper does not implement schemes.EpochSafe.
+type noEpochController struct{ schemes.Controller }
+
+func init() {
+	schemes.Register(schemes.Family{
+		Name: "NOEPOCH",
+		New: func(_ schemes.Spec, cfg config.System) (schemes.Controller, error) {
+			inner, err := schemes.Build("L2P", cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &noEpochController{inner}, nil
+		},
+	})
+}
+
+// TestEpochFallsBackWithoutCapability checks the safety valve: a controller
+// that does not declare epoch safety is driven by the serial engine even
+// when the caller asks for the intra-run engine, and the result is the one
+// the serial engine produces.
+func TestEpochFallsBackWithoutCapability(t *testing.T) {
+	cfg := config.TestScale()
+	const cycles = 60_000
+	build := func() []isa.Stream {
+		streams, err := cmp.WorkloadStreams(cfg, goldenBench, cmp.PhaseRefs(cycles))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return streams
+	}
+	sys, err := cmp.NewSystem(cfg, "NOEPOCH", build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EpochCapable(sys.Controller()) {
+		t.Fatal("NOEPOCH wrapper unexpectedly declares epoch safety")
+	}
+	intra := sys.RunEngine(cycles, cmp.Engine{Intra: true})
+
+	ref, err := cmp.RunStreams(cfg, "NOEPOCH", build(), cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig, rg := goldenDigest(intra), goldenDigest(ref); ig != rg {
+		t.Errorf("fallback digest %s != serial digest %s", ig, rg)
+	}
+}

@@ -12,6 +12,15 @@ import (
 // access is issued and returns the cycle its data is available. The cache
 // hierarchy (internal/cmp) provides this function; the core model is
 // hierarchy-agnostic.
+//
+// MemFunc is the core's continuation point for intra-run parallelism: the
+// call may suspend the calling goroutine for arbitrarily long (the epoch
+// engine parks the access at a coordinator and blocks here for the
+// reply), so the core model must keep all of its state reachable from the
+// Core value — no package globals, no state shared between Core instances
+// — and a Core must only ever be advanced by one goroutine at a time.
+// Both properties hold for this package and are relied on by
+// internal/cmp's epoch engine.
 type MemFunc func(now int64, a addr.Addr, write bool) (doneAt int64)
 
 // Stats aggregates per-core execution statistics.
@@ -130,6 +139,12 @@ const pendBatch = 256
 // Run advances the core until its dispatch clock reaches the until cycle,
 // drawing instructions from stream and resolving memory through mem. It
 // returns the number of instructions dispatched during this quantum.
+//
+// Run may be called in successive slices — Run(b1) then Run(b2) steps the
+// exact instruction sequence of Run(b2) — which is how both engines drive
+// it: the serial engine on the driving goroutine, the epoch engine on a
+// dedicated per-core goroutine whose mem parks at a coordinator (see
+// MemFunc). Run itself never touches cross-core state.
 //
 // Streams implementing isa.BatchStream (trace replays) are consumed
 // through a persistent decode-ahead buffer: one NextBatch call decodes

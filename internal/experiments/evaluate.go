@@ -63,6 +63,11 @@ type Options struct {
 	// results, several× less stream-synthesis work. The switch exists for
 	// A/B-ing exactly that claim (cmd/experiments -replay=false).
 	NoReplay bool
+	// Engine selects how each simulation advances (serial or intra-run
+	// epoch engine). Results are byte-identical either way, so the engine
+	// is excluded from checkpoint fingerprints: stores are interchangeable
+	// across engines.
+	Engine cmp.Engine
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
@@ -214,7 +219,7 @@ func jobKey(combo, label string) string { return combo + "/" + label }
 // sees identical instruction streams (paired comparisons). With a stream
 // cache, the streams are synthesized once per (combo, replicate) cell and
 // replayed to every scheme; cache == nil regenerates them live per run.
-func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo workloads.Combo, specs []schemes.Spec, cycles int64) []sweep.Job {
+func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo workloads.Combo, specs []schemes.Spec, cycles int64, eng cmp.Engine) []sweep.Job {
 	all := append([]schemes.Spec{baselineSpec}, specs...)
 	uses := len(all)
 	for _, spec := range all {
@@ -226,7 +231,7 @@ func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo wo
 				c := cfg
 				c.Seed = seed
 				if cache == nil {
-					return cmp.RunWorkload(c, label, combo.Cores, cycles)
+					return cmp.RunWorkloadEngine(c, label, combo.Cores, cycles, eng)
 				}
 				streams, err := cache.streams(seed, uses, func() ([]isa.Stream, error) {
 					return cmp.WorkloadStreams(c, combo.Cores, cmp.PhaseRefs(cycles))
@@ -234,7 +239,7 @@ func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo wo
 				if err != nil {
 					return cmp.RunResult{}, err
 				}
-				return cmp.RunStreams(c, label, streams, cycles)
+				return cmp.RunStreamsEngine(c, label, streams, cycles, eng)
 			},
 		})
 	}
@@ -316,7 +321,7 @@ func Evaluate(opt Options) (*Evaluation, error) {
 	var jobs []sweep.Job
 	for i, combo := range combos {
 		ev.Combos[i] = ComboResult{Combo: combo}
-		jobs = comboJobs(jobs, cache, opt.Cfg, combo, specs, opt.RunCycles)
+		jobs = comboJobs(jobs, cache, opt.Cfg, combo, specs, opt.RunCycles, opt.Engine)
 	}
 
 	fp, legacy, err := fingerprint(opt)

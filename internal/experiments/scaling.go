@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/metrics"
 	"snug/internal/stats"
@@ -35,6 +36,9 @@ type ScalingOptions struct {
 	// NoReplay has the same semantics as Options.NoReplay: disable the
 	// trace record/replay cache and synthesize every run's streams live.
 	NoReplay bool
+	// Engine has the same semantics as Options.Engine: engine selection
+	// never changes results, so it is excluded from fingerprints.
+	Engine cmp.Engine
 }
 
 // ScalingPoint is the evaluation at one core count.
@@ -122,7 +126,7 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 		res.Points[i] = ScalingPoint{Cores: n, Cfg: cfg, Combos: make([]ComboResult, len(combos))}
 		for j, combo := range combos {
 			res.Points[i].Combos[j] = ComboResult{Combo: combo}
-			jobs = comboJobs(jobs, cache, cfg, combo, specs, opt.RunCycles)
+			jobs = comboJobs(jobs, cache, cfg, combo, specs, opt.RunCycles, opt.Engine)
 		}
 	}
 

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Coordinator enforces the epoch engine's goroutine-confinement contract
+// (internal/cmp/epoch.go): all cross-core mutable state is owned by the
+// scheme controller, and controller methods run only on the coordinator
+// goroutine. Code that executes on a per-core goroutine is marked
+// `//snug:coreside`; functions that touch the shared hierarchy are marked
+// `//snug:coordinator`. The analyzer checks three things:
+//
+//   - no function carries both marks — they name disjoint goroutine roles;
+//   - no call path from a //snug:coreside root reaches, through
+//     same-package static calls, a //snug:coordinator function or any
+//     method of the schemes.Controller interface on a value implementing
+//     it (the type-based rule crosses package boundaries, where doc
+//     directives are invisible);
+//   - in result-affecting packages, every Access / WritebackL1 / Tick
+//     method on a type implementing schemes.Controller carries
+//     //snug:coordinator, so new schemes inherit the contract and rule two
+//     can see them.
+//
+// The static walk is deliberately conservative: calls through non-Controller
+// interfaces or function values are not followed. The -race differential
+// suite (internal/cmp/epoch_test.go) is the dynamic backstop for what the
+// walk cannot see.
+var Coordinator = &Analyzer{
+	Name: "coordinator",
+	Doc:  "keeps //snug:coreside call paths out of //snug:coordinator functions and Controller methods",
+	Run:  runCoordinator,
+}
+
+const (
+	coordinatorDirective = "//snug:coordinator"
+	coresideDirective    = "//snug:coreside"
+)
+
+// controllerMethods are the Controller methods rule three requires to be
+// annotated — the mutating call surface a scheme must confine.
+var controllerMethods = map[string]bool{
+	"Access":      true,
+	"WritebackL1": true,
+	"Tick":        true,
+}
+
+func runCoordinator(pass *Pass) error {
+	decls := map[types.Object]*ast.FuncDecl{}
+	coordinator := map[types.Object]bool{}
+	var coreside []types.Object
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fn
+			co := hasDirective(fn, coordinatorDirective)
+			cs := hasDirective(fn, coresideDirective)
+			if co && cs {
+				pass.Reportf(fn.Name.Pos(),
+					"%s is marked both %s and %s: the marks name disjoint goroutine roles",
+					fn.Name.Name, coordinatorDirective, coresideDirective)
+			}
+			if co {
+				coordinator[obj] = true
+			}
+			if cs {
+				coreside = append(coreside, obj)
+			}
+		}
+	}
+
+	iface := controllerInterface(pass)
+	checkControllerDecls(pass, decls, coordinator, iface)
+
+	reported := map[token.Pos]bool{}
+	for _, root := range coreside {
+		walkCoreside(pass, root, decls, coordinator, iface, reported)
+	}
+	return nil
+}
+
+// walkCoreside DFSes the same-package static call graph from one coreside
+// root, reporting every call that lands in coordinator-only territory.
+func walkCoreside(pass *Pass, root types.Object, decls map[types.Object]*ast.FuncDecl,
+	coordinator map[types.Object]bool, iface *types.Interface, reported map[token.Pos]bool) {
+	visited := map[types.Object]bool{root: true}
+	var visit func(obj types.Object)
+	visit = func(obj types.Object) {
+		fn := decls[obj]
+		if fn == nil {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(pass, call)
+			if callee == nil {
+				return true
+			}
+			report := func(format string, args ...any) {
+				if !reported[call.Pos()] {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(), format, args...)
+				}
+			}
+			switch {
+			case coordinator[callee]:
+				report("core-goroutine path from %s calls coordinator-only %s: shared below-L1 state may only be touched on the coordinator goroutine; park the work instead (see internal/cmp/epoch.go)",
+					root.Name(), callee.Name())
+			case isControllerMethodCall(pass, call, iface):
+				report("core-goroutine path from %s calls Controller method %s: controller calls must be parked at the coordinator, never made from a core goroutine",
+					root.Name(), callee.Name())
+			default:
+				if !visited[callee] && decls[callee] != nil {
+					visited[callee] = true
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	visit(root)
+}
+
+// checkControllerDecls enforces rule three: in result-affecting packages,
+// mutating Controller methods on implementing types must be annotated.
+func checkControllerDecls(pass *Pass, decls map[types.Object]*ast.FuncDecl,
+	coordinator map[types.Object]bool, iface *types.Interface) {
+	if iface == nil || !resultAffectingPath(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !controllerMethods[fn.Name.Name] {
+				continue
+			}
+			obj := pass.Info.Defs[fn.Name]
+			if obj == nil || coordinator[obj] {
+				continue
+			}
+			recv := pass.TypeOf(fn.Recv.List[0].Type)
+			if recv == nil || !types.Implements(recv, iface) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"Controller method %s.%s lacks %s: scheme controllers own cross-core state, so their mutating methods must declare the coordinator-only contract",
+				recvName(fn), fn.Name.Name, coordinatorDirective)
+		}
+	}
+}
+
+// calleeObject resolves a call expression to the called function object for
+// same-package declarations and selector calls; nil when the callee cannot
+// be identified statically (function values, builtins).
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isControllerMethodCall reports whether call invokes a method belonging to
+// the schemes.Controller interface on a receiver that implements it —
+// either through the interface itself or on a concrete controller.
+func isControllerMethodCall(pass *Pass, call *ast.CallExpr, iface *types.Interface) bool {
+	if iface == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	name := selection.Obj().Name()
+	inInterface := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			inInterface = true
+			break
+		}
+	}
+	if !inInterface {
+		return false
+	}
+	return types.Implements(selection.Recv(), iface)
+}
+
+// controllerInterface locates the schemes.Controller interface type from
+// the analyzed package or its direct imports; nil when schemes is not in
+// scope (then only the directive-based rules apply).
+func controllerInterface(pass *Pass) *types.Interface {
+	const schemesPath = "snug/internal/schemes"
+	lookup := func(p *types.Package) *types.Interface {
+		obj := p.Scope().Lookup("Controller")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if basePath(pass.Pkg.Path()) == schemesPath {
+		return lookup(pass.Pkg)
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if basePath(imp.Path()) == schemesPath {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// basePath strips vet's test-variant decoration ("p [p.test]") from an
+// import path.
+func basePath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// hasDirective reports whether fn's doc comment carries the directive.
+func hasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvName returns the receiver's type name for diagnostics.
+func recvName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return "receiver"
+		}
+	}
+}

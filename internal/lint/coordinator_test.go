@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestCoordinator(t *testing.T) {
+	linttest.Run(t, "testdata/coordinator", lint.Coordinator,
+		"snug/internal/cmp", "other")
+}

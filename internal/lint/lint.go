@@ -8,7 +8,7 @@
 // standard library only. The API mirrors go/analysis closely enough that
 // the analyzers could be ported to x/tools by swapping the framework types.
 //
-// Four analyzers ship today:
+// Five analyzers ship today:
 //
 //   - maporder: flags `range` over a map in a result-affecting package —
 //     map iteration order is randomized per process, so any result that
@@ -22,12 +22,26 @@
 //   - hotalloc: functions annotated //snug:hotpath must not allocate
 //     (append / make / new / map writes / capturing closures), locking in
 //     the allocs-per-run wins measured by cmd/bench.
+//   - coordinator: code marked //snug:coreside (runs on the epoch engine's
+//     per-core goroutines) must never reach, through same-package static
+//     calls, a //snug:coordinator function or a schemes.Controller method;
+//     mutating Controller methods must carry the coordinator mark.
 //
 // # Annotation grammar
 //
 //	//snug:hotpath
 //	    In a function's doc comment: the function body is subject to the
 //	    hotalloc analyzer.
+//
+//	//snug:coordinator
+//	    In a function's doc comment: the function touches shared below-L1
+//	    state and may only run on the goroutine driving the scheme
+//	    controller (the serial driver or the epoch coordinator).
+//
+//	//snug:coreside
+//	    In a function's doc comment: the function runs on a per-core
+//	    goroutine of the epoch engine; the coordinator analyzer walks its
+//	    static call graph and rejects paths into coordinator-only code.
 //
 //	//snug:allow <analyzer> [justification...]
 //	    Trailing on a line, or alone on the line above: suppresses the
@@ -170,6 +184,7 @@ var Analyzers = []*Analyzer{
 	WallClock,
 	SeedDiscipline,
 	HotAlloc,
+	Coordinator,
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,21 @@
+// Package other is outside the result-affecting set: the declaration rule
+// does not apply, but the goroutine-role rules still do.
+package other
+
+import "snug/internal/schemes"
+
+// relaxed implements Controller without annotations: fine outside the
+// result-affecting packages.
+type relaxed struct{}
+
+func (relaxed) Name() string                                           { return "relaxed" }
+func (relaxed) Access(core int, now int64, a uint64, write bool) int64 { return now }
+func (relaxed) WritebackL1(core int, now int64, a uint64)              {}
+func (relaxed) Tick(now int64)                                         {}
+
+// stillBad runs core-side and calls the controller: flagged everywhere.
+//
+//snug:coreside
+func stillBad(ctrl schemes.Controller, now int64) {
+	ctrl.Tick(now) // want "core-goroutine path from stillBad calls Controller method Tick"
+}

@@ -1,0 +1,100 @@
+// Package cmp is a coordinator test fixture posing as the result-affecting
+// package snug/internal/cmp.
+package cmp
+
+import "snug/internal/schemes"
+
+// drain touches shared state.
+//
+//snug:coordinator
+func drain(ctrl schemes.Controller, now int64) {
+	ctrl.Tick(now) // a coordinator function may call the controller freely
+}
+
+// localOnly is plain per-core compute: callable from anywhere.
+func localOnly(x int64) int64 { return x + 1 }
+
+// helper is unmarked but transitively coordinator-only.
+func helper(ctrl schemes.Controller, now int64) {
+	drain(ctrl, now) // want "core-goroutine path from badTransitive calls coordinator-only drain"
+}
+
+// badDirect parks on the wrong side of the fence.
+//
+//snug:coreside
+func badDirect(ctrl schemes.Controller, now int64) {
+	localOnly(now)   // fine: per-core compute
+	drain(ctrl, now) // want "core-goroutine path from badDirect calls coordinator-only drain"
+}
+
+// badTransitive reaches coordinator code through an unmarked helper.
+//
+//snug:coreside
+func badTransitive(ctrl schemes.Controller, now int64) {
+	helper(ctrl, now)
+}
+
+// badIfaceCall calls the controller through the interface.
+//
+//snug:coreside
+func badIfaceCall(ctrl schemes.Controller, now int64) int64 {
+	return ctrl.Access(0, now, 42, false) // want "core-goroutine path from badIfaceCall calls Controller method Access"
+}
+
+// badConcreteCall calls a concrete controller from another package: the
+// type-based rule sees it without any directive being visible.
+//
+//snug:coreside
+func badConcreteCall(f *schemes.Fixed, now int64) {
+	f.Tick(now) // want "core-goroutine path from badConcreteCall calls Controller method Tick"
+}
+
+// badLocalConcrete calls the package-local controller: here the directive
+// rule fires, because fixed.Tick is coordinator-marked in this package.
+//
+//snug:coreside
+func badLocalConcrete(f *fixed, now int64) {
+	f.Tick(now) // want "core-goroutine path from badLocalConcrete calls coordinator-only Tick"
+}
+
+// confused claims both roles.
+//
+//snug:coordinator
+//snug:coreside
+func confused() {} // want "confused is marked both"
+
+// goodCoreside stays on private state.
+//
+//snug:coreside
+func goodCoreside(x int64) int64 {
+	return localOnly(x)
+}
+
+// fixed is a controller implementation; its mutating methods must carry the
+// coordinator mark.
+type fixed struct{ t int64 }
+
+// Name is not part of the mutating surface rule three checks.
+func (f *fixed) Name() string { return "fixed" }
+
+// Access lacks the required annotation.
+func (f *fixed) Access(core int, now int64, a uint64, write bool) int64 { // want "Controller method fixed.Access lacks //snug:coordinator"
+	return now
+}
+
+// WritebackL1 implements Controller.
+//
+//snug:coordinator
+func (f *fixed) WritebackL1(core int, now int64, a uint64) {}
+
+// Tick implements Controller.
+//
+//snug:coordinator
+func (f *fixed) Tick(now int64) { f.t = now }
+
+// notAController also has a Tick, but implements nothing: no annotation
+// needed.
+type notAController struct{ t int64 }
+
+// Tick here is an ordinary method (the type lacks Access/WritebackL1/Name).
+func (n *notAController) Tick(now int64) { n.t = now }

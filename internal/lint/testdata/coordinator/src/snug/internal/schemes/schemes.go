@@ -1,0 +1,22 @@
+// Package schemes is a coordinator test fixture posing as
+// snug/internal/schemes: the analyzer resolves the Controller interface
+// from this path to recognize controller calls type-wise.
+package schemes
+
+// Controller mirrors the real interface's shape.
+type Controller interface {
+	Name() string
+	Access(core int, now int64, a uint64, write bool) int64
+	WritebackL1(core int, now int64, a uint64)
+	Tick(now int64)
+}
+
+// Fixed is a concrete controller defined outside the analyzed package: its
+// methods carry no visible directives, so only the type-based rule can
+// recognize calls to them.
+type Fixed struct{ T int64 }
+
+func (f *Fixed) Name() string                                           { return "fixed" }
+func (f *Fixed) Access(core int, now int64, a uint64, write bool) int64 { return now }
+func (f *Fixed) WritebackL1(core int, now int64, a uint64)              {}
+func (f *Fixed) Tick(now int64)                                         { f.T = now }
