@@ -9,16 +9,40 @@ import (
 
 // TestRepoIsClean is the self-gate: the analyzer suite must exit clean on
 // this repository. Any new range-over-map, wall-clock read, undisciplined
-// seed or hot-path allocation in a result-affecting package fails this
-// test (and the CI snuglint step) until it is fixed or carries a
-// //snug:allow justification.
+// seed, hot-path allocation or dispatch, or stale //snug:allow in a
+// result-affecting package fails this test (and the CI snuglint step)
+// until it is fixed or carries a //snug:allow justification.
 func TestRepoIsClean(t *testing.T) {
-	var buf bytes.Buffer
-	n, err := lint.Main(&buf, []string{"snug/..."})
+	var stdout, stderr bytes.Buffer
+	sum, err := lint.Main(&stdout, &stderr, []string{"snug/..."}, lint.Options{})
 	if err != nil {
 		t.Fatalf("snuglint: %v", err)
 	}
-	if n != 0 {
-		t.Fatalf("snuglint reported %d finding(s) on the repo:\n%s", n, buf.String())
+	if len(sum.Failing) != 0 {
+		t.Fatalf("snuglint reported %d failing finding(s) on the repo:\n%s", len(sum.Failing), stderr.String())
+	}
+}
+
+// TestRepoCompilerContract is the compiler-side self-gate: with -compiler
+// the repo's //snug:hotpath bodies must compile escape- and bounds-check
+// free and its //snug:inline functions must inline, modulo the justified
+// //snug:allow directives and the committed LINT_BASELINE.json. Finding
+// paths are module-root relative, so the baseline applies no matter which
+// directory the test (or CI's compiler-contract step) runs from.
+func TestRepoCompilerContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiler contract recompiles the module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	opts := lint.Options{Compiler: true, Baseline: "../../LINT_BASELINE.json"}
+	sum, err := lint.Main(&stdout, &stderr, []string{"snug/..."}, opts)
+	if err != nil {
+		t.Fatalf("snuglint -compiler: %v", err)
+	}
+	if len(sum.Failing) != 0 {
+		t.Fatalf("snuglint -compiler reported %d finding(s) not in LINT_BASELINE.json:\n%s", len(sum.Failing), stderr.String())
+	}
+	if sum.Resolved > 0 {
+		t.Logf("baseline has %d resolved entr(ies); refresh with -update-baseline", sum.Resolved)
 	}
 }

@@ -123,6 +123,8 @@ func MustNew(widthBytes, speedRatio, arbBusCycles, blockBytes int) *Bus {
 // Address-path arbitration is pipelined with the previous beat, so a snoop
 // occupies the path for just its broadcast beat; data transfers pay
 // arbitration plus ceil(block/width) beats.
+//
+//snug:inline
 func (b *Bus) duration(k Kind) int64 {
 	switch k {
 	case KindSnoop:
@@ -137,6 +139,8 @@ func (b *Bus) duration(k Kind) int64 {
 }
 
 // path selects the calendar serving kind k.
+//
+//snug:inline
 func (b *Bus) path(k Kind) *calendar {
 	if k == KindSnoop {
 		return &b.addrPath
@@ -207,6 +211,7 @@ const pruneLen = 64
 // few quanta; a generous slack keeps pruning safe.
 //
 //snug:hotpath
+//snug:inline
 func (c *calendar) prune(now int64) {
 	const slack = 4096
 	cut := now - slack
@@ -228,6 +233,8 @@ func (c *calendar) prune(now int64) {
 // overlaps it.
 //
 //snug:hotpath
+//snug:inline
+//snug:allow gcinline the sort.Search call pushes cost to 97, past the 80 budget; the comparator closure itself inlines
 func (c *calendar) hasGap(t, dur int64) bool {
 	i := sort.Search(len(c.busy), func(k int) bool { return c.busy[k].end > t }) //snug:allow hotalloc non-escaping sort.Search comparator
 	return i == len(c.busy) || c.busy[i].start >= t+dur

@@ -239,6 +239,7 @@ func (c *Cache) blockAt(s uint32, way int) Block {
 // and only their tags — dense, row-major — are compared, in way order.
 //
 //snug:hotpath
+//snug:inline
 func (c *Cache) matchWay(s uint32, tag uint64) int {
 	m := c.meta[s]
 	elig := (m &^ ((m >> 2) & (m >> 3))) & c.waySel
@@ -260,6 +261,7 @@ func (c *Cache) matchWay(s uint32, tag uint64) int {
 // true match, which TrailingZeros64 ignores.
 //
 //snug:hotpath
+//snug:inline
 func rankShift(order uint64, w int) uint {
 	x := order ^ (uint64(w) * lowBits)
 	y := (x - lowBits) & ^x & highBits
@@ -271,6 +273,7 @@ func rankShift(order uint64, w int) uint {
 // associativity.
 //
 //snug:hotpath
+//snug:inline
 func promote(order uint64, w int) uint64 {
 	p := rankShift(order, w)
 	below := order & (uint64(1)<<p - 1)
@@ -324,6 +327,8 @@ func (c *Cache) Peek(a addr.Addr) (blk Block, found bool) {
 }
 
 // ccInc counts a cooperative block entering set s with flip state flipped.
+//
+//snug:inline
 func (c *Cache) ccInc(s uint32, flipped bool) {
 	if c.ccCnt[s] == 0 {
 		c.ccSets[s>>6] |= 1 << (s & 63)
@@ -336,6 +341,8 @@ func (c *Cache) ccInc(s uint32, flipped bool) {
 }
 
 // ccDec counts a cooperative block leaving set s with flip state flipped.
+//
+//snug:inline
 func (c *Cache) ccDec(s uint32, flipped bool) {
 	if flipped {
 		c.ccCnt[s] -= 1 << 16
@@ -403,6 +410,8 @@ func (c *Cache) FindCC(setIdx uint32, tag uint64, flipped bool) (found bool, way
 // victimWay selects the fill target in set s: the lowest-index invalid way
 // if one exists (one mask expression over the meta word), otherwise the
 // way at LRU rank (one shift of the order word).
+//
+//snug:inline
 func (c *Cache) victimWay(s uint32) int {
 	if inv := ^c.meta[s] & c.waySel; inv != 0 {
 		return bits.TrailingZeros64(inv) >> 2

@@ -85,6 +85,12 @@ type Core struct {
 	pendHead int
 	pendLen  int
 
+	// next is the non-batch fallback's decode target. As a field it lives
+	// in the Core's existing allocation; as a Run local its address would
+	// escape into the stream.Next interface call and heap-allocate once
+	// per Run call (caught by the gcescape compiler contract).
+	next isa.Instr
+
 	// kindCount is the per-kind tally with a power-of-two shape so the
 	// per-instruction increment needs no bounds check; Stats() folds it
 	// into the exported fixed-size array.
@@ -158,11 +164,12 @@ func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
 	before := c.stats.Instructions
 	if bs, ok := stream.(isa.BatchStream); ok {
 		if c.pend == nil {
+			//snug:allow gcescape one-time decode-buffer warm-up escapes into c.pend by design
 			c.pend = make([]isa.Instr, pendBatch) //snug:allow hotalloc one-time decode-buffer warm-up, never per step
 		}
 		for c.clock < until {
 			if c.pendHead == c.pendLen {
-				c.pendLen = bs.NextBatch(c.pend)
+				c.pendLen = bs.NextBatch(c.pend) //snug:allow hotdispatch one dispatch per pendBatch instructions, amortized by design
 				c.pendHead = 0
 				if c.pendLen == 0 {
 					// A finite stream ran dry; the workload streams are
@@ -175,10 +182,10 @@ func (c *Core) Run(until int64, stream isa.Stream, mem MemFunc) int64 {
 		}
 		return c.stats.Instructions - before
 	}
-	var in isa.Instr
+	in := &c.next
 	for c.clock < until {
-		stream.Next(&in)
-		c.step(&in, mem)
+		stream.Next(in) //snug:allow hotdispatch generator fallback: only non-batch streams pay the per-instruction dispatch
+		c.step(in, mem)
 	}
 	return c.stats.Instructions - before
 }
@@ -290,6 +297,8 @@ func (c *Core) step(in *isa.Instr, mem MemFunc) {
 
 // redirect applies a fetch redirect (branch misprediction) resolved at
 // cycle resolved.
+//
+//snug:inline
 func (c *Core) redirect(resolved int64) {
 	c.stats.BranchMispredicts++
 	avail := resolved + int64(c.cfg.BranchPenalty)
@@ -334,6 +343,7 @@ func (c *Core) reserveLSQ(e int64) int64 {
 // returning the minimum surviving completion time (MaxInt64 when none).
 //
 //snug:hotpath
+//snug:inline
 func (c *Core) compactLSQ(e int64) int64 {
 	q := c.lsq
 	w := 0
@@ -354,6 +364,7 @@ func (c *Core) compactLSQ(e int64) int64 {
 // pushLSQ records an outstanding completion time.
 //
 //snug:hotpath
+//snug:inline
 func (c *Core) pushLSQ(t int64) {
 	c.lsq = append(c.lsq, t) //snug:allow hotalloc capacity stabilizes at lsqSize; compactLSQ keeps len below it
 }

@@ -1,0 +1,34 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"snug/internal/cmp"
+	"snug/internal/experiments"
+)
+
+// TestEngineFor pins the scaling study's per-width engine default: wide
+// points (8+ cores) step with the intra-run epoch engine, the quad-core
+// base point keeps the serial engine, and an explicit engine request
+// survives in both directions.
+func TestEngineFor(t *testing.T) {
+	serial := cmp.Engine{}
+	if got := experiments.EngineFor(serial, 4); got.Intra {
+		t.Errorf("EngineFor(serial, 4) enabled Intra; the quad-core point must stay serial by default")
+	}
+	for _, n := range []int{8, 16, 32} {
+		if got := experiments.EngineFor(serial, n); !got.Intra {
+			t.Errorf("EngineFor(serial, %d) kept the serial engine; wide points default to Intra", n)
+		}
+	}
+	// An explicit Intra request is never downgraded at any width.
+	intra := cmp.Engine{Intra: true, EpochCycles: 1024}
+	if got := experiments.EngineFor(intra, 4); !got.Intra || got.EpochCycles != 1024 {
+		t.Errorf("EngineFor(intra, 4) = %+v; explicit engine choices must be preserved", got)
+	}
+	// Tuning fields ride along unchanged when the default kicks in.
+	tuned := cmp.Engine{EpochCycles: 2048}
+	if got := experiments.EngineFor(tuned, 8); !got.Intra || got.EpochCycles != 2048 {
+		t.Errorf("EngineFor(tuned, 8) = %+v; want Intra with EpochCycles preserved", got)
+	}
+}

@@ -1,0 +1,7 @@
+package experiments
+
+import "snug/internal/cmp"
+
+// EngineFor exposes the scaling study's per-width engine default to the
+// external test package.
+func EngineFor(base cmp.Engine, cores int) cmp.Engine { return engineFor(base, cores) }

@@ -124,9 +124,10 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 			return nil, fmt.Errorf("experiments: no combos selected for classes %v", opt.Classes)
 		}
 		res.Points[i] = ScalingPoint{Cores: n, Cfg: cfg, Combos: make([]ComboResult, len(combos))}
+		eng := engineFor(opt.Engine, n)
 		for j, combo := range combos {
 			res.Points[i].Combos[j] = ComboResult{Combo: combo}
-			jobs = comboJobs(jobs, cache, cfg, combo, specs, opt.RunCycles, opt.Engine)
+			jobs = comboJobs(jobs, cache, cfg, combo, specs, opt.RunCycles, eng)
 		}
 	}
 
@@ -155,6 +156,21 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// engineFor picks the stepping engine for one scaling-study width: wide
+// points (8+ cores) default to the intra-run epoch engine, whose per-core
+// goroutines pay off exactly where the serial engine's single-threaded
+// stepping becomes the study's wall-clock bottleneck. Narrower points keep
+// the caller's engine untouched, and an explicit Intra request is never
+// downgraded. Engine selection is bit-identical by construction (the epoch
+// engine falls back to serial unless the scheme is epoch-safe), so this
+// changes wall-clock only, never results or fingerprints.
+func engineFor(base cmp.Engine, cores int) cmp.Engine {
+	if cores >= 8 {
+		base.Intra = true
+	}
+	return base
 }
 
 // ScalingSeries is one metric's scaling table: per core count, per scheme,

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is the machine-readable form of one diagnostic: the -json output
+// emits one Finding per line (JSON Lines). The schema is pinned by a
+// golden test (findings_test.go); extend it by adding fields, never by
+// renaming or retyping existing ones — downstream tooling (the CI job
+// summary, baseline diffs) relies on it.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative when possible
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Allowed is true for findings a //snug:allow directive suppressed;
+	// Justification carries the directive's rationale. Allowed findings
+	// never fail a run.
+	Allowed       bool   `json:"allowed"`
+	Justification string `json:"justification,omitempty"`
+	// Baselined is true when a -baseline run matched the finding against
+	// the committed baseline: tracked legacy debt, not a failure.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// findingOf converts a diagnostic, relativizing the filename against dir.
+func findingOf(dir string, d Diagnostic) Finding {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{
+		Analyzer:      d.Analyzer,
+		File:          file,
+		Line:          d.Pos.Line,
+		Col:           d.Pos.Column,
+		Message:       d.Message,
+		Allowed:       d.Allowed,
+		Justification: d.Justification,
+	}
+}
+
+// String renders the finding in the file:line:col style of go vet output.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// baselineSchema is the current LINT_BASELINE.json schema version; bump it
+// only with a migration note in DESIGN.md.
+const baselineSchema = 1
+
+// Baseline is the committed findings snapshot CI diffs against: runs fail
+// only on findings not in the baseline, so legacy debt stays tracked
+// without blocking unrelated changes.
+type Baseline struct {
+	Schema int `json:"schema"`
+	// Findings are the tracked entries sorted by (file, line, analyzer).
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one tracked finding. Line is informational
+// only: the match key is (analyzer, file, message), so a finding that
+// merely moves within its file does not count as new. Two identical
+// findings in one file occupy two entries (matching is count-aware).
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error — CI must
+// not pass vacuously because the baseline was forgotten; create one with
+// -update-baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("baseline %s does not exist (create it with -update-baseline)", path)
+		}
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("baseline %s has schema %d, this snuglint speaks %d; regenerate with -update-baseline", path, b.Schema, baselineSchema)
+	}
+	return &b, nil
+}
+
+// Diff splits findings into new (not tracked by the baseline — these fail
+// the run) and marks the rest Baselined in place. resolved counts baseline
+// entries no finding matched: tracked debt that has since been fixed and
+// should be dropped with -update-baseline.
+func (b *Baseline) Diff(findings []Finding) (fresh []Finding, resolved int) {
+	remaining := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		remaining[e.key()]++
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Allowed {
+			continue // allow-suppressed findings are outside baseline scope
+		}
+		k := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}.key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			f.Baselined = true
+		} else {
+			fresh = append(fresh, *f)
+		}
+	}
+	for _, n := range remaining {
+		resolved += n
+	}
+	return fresh, resolved
+}
+
+// WriteBaseline snapshots the active (non-allowed) findings to path.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Schema: baselineSchema}
+	for _, f := range findings {
+		if f.Allowed {
+			continue
+		}
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer, File: f.File, Line: f.Line, Message: f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// WriteJSON emits findings as JSON Lines.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByAnalyzer tallies findings per analyzer (all states) and returns
+// "name:count" terms sorted by name — the per-analyzer summary CI prints.
+func CountByAnalyzer(findings []Finding) []string {
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	terms := make([]string, len(names))
+	for i, n := range names {
+		terms[i] = fmt.Sprintf("%s:%d", n, counts[n])
+	}
+	return terms
+}

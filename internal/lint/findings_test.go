@@ -1,0 +1,149 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snug/internal/lint"
+)
+
+// TestFindingsJSONGolden pins the -json schema byte-for-byte. The three
+// findings cover the allow states: active, allow-suppressed (justification
+// present), and baselined. Any field rename, retype or reorder breaks this
+// test — that is the point; downstream tooling parses these lines.
+func TestFindingsJSONGolden(t *testing.T) {
+	findings := []lint.Finding{
+		{
+			Analyzer: "gcbounds", File: "internal/cache/cache.go", Line: 244, Col: 13,
+			Message: "bounds check in hot path matchWay",
+		},
+		{
+			Analyzer: "hotdispatch", File: "internal/cpu/core.go", Line: 170, Col: 4,
+			Message: "interface method call in hot path Run",
+			Allowed: true, Justification: "one dispatch per batch, amortized",
+		},
+		{
+			Analyzer: "gcbounds", File: "internal/trace/record.go", Line: 234, Col: 13,
+			Message: "bounds check in hot path Next", Baselined: true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	golden := strings.Join([]string{
+		`{"analyzer":"gcbounds","file":"internal/cache/cache.go","line":244,"col":13,"message":"bounds check in hot path matchWay","allowed":false}`,
+		`{"analyzer":"hotdispatch","file":"internal/cpu/core.go","line":170,"col":4,"message":"interface method call in hot path Run","allowed":true,"justification":"one dispatch per batch, amortized"}`,
+		`{"analyzer":"gcbounds","file":"internal/trace/record.go","line":234,"col":13,"message":"bounds check in hot path Next","allowed":false,"baselined":true}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("-json output drifted from the pinned schema:\ngot:\n%swant:\n%s", got, golden)
+	}
+}
+
+// TestBaselineRoundTrip covers Write → Load → Diff: allowed findings stay
+// out of the baseline, tracked findings are marked Baselined, new findings
+// come back fresh, fixed entries count as resolved, and duplicate findings
+// match count-aware (two identical entries absorb exactly two findings).
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	tracked := lint.Finding{
+		Analyzer: "gcbounds", File: "a/a.go", Line: 10, Col: 2,
+		Message: "bounds check in hot path F",
+	}
+	dup := tracked
+	dup.Line = 20
+	allowed := lint.Finding{
+		Analyzer: "gcescape", File: "a/a.go", Line: 5, Col: 1,
+		Message: "heap escape in hot path F", Allowed: true, Justification: "why",
+	}
+	fixed := lint.Finding{
+		Analyzer: "gcbounds", File: "b/b.go", Line: 3, Col: 1,
+		Message: "bounds check in hot path G",
+	}
+	if err := lint.WriteBaseline(path, []lint.Finding{tracked, dup, allowed, fixed}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 3 {
+		t.Fatalf("baseline holds %d entries, want 3 (allowed findings excluded)", len(b.Findings))
+	}
+
+	// Current findings: both duplicates (one moved), the allowed one, a
+	// genuinely new finding — and nothing matching `fixed` anymore.
+	moved := dup
+	moved.Line = 99
+	fresh := lint.Finding{
+		Analyzer: "gcbounds", File: "a/a.go", Line: 30, Col: 2,
+		Message: "bounds check in hot path H",
+	}
+	now := []lint.Finding{tracked, moved, allowed, fresh}
+	newOnes, resolved := b.Diff(now)
+	if len(newOnes) != 1 || newOnes[0].Message != fresh.Message {
+		t.Errorf("Diff fresh = %+v, want just the new finding", newOnes)
+	}
+	if resolved != 1 {
+		t.Errorf("Diff resolved = %d, want 1 (the fixed entry)", resolved)
+	}
+	if !now[0].Baselined || !now[1].Baselined {
+		t.Errorf("tracked findings not marked Baselined: %+v", now[:2])
+	}
+	if now[2].Baselined {
+		t.Errorf("allowed finding must stay outside baseline scope: %+v", now[2])
+	}
+}
+
+// TestBaselineCountAware: a third identical finding beyond the two tracked
+// entries is new, not absorbed.
+func TestBaselineCountAware(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f := lint.Finding{Analyzer: "gcbounds", File: "a/a.go", Line: 1, Col: 1, Message: "m"}
+	g := f
+	g.Line = 2
+	if err := lint.WriteBaseline(path, []lint.Finding{f, g}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f
+	h.Line = 3
+	fresh, resolved := b.Diff([]lint.Finding{f, g, h})
+	if len(fresh) != 1 || resolved != 0 {
+		t.Errorf("Diff = (%d fresh, %d resolved), want (1, 0)", len(fresh), resolved)
+	}
+}
+
+// TestLoadBaselineErrors: a missing baseline and a schema mismatch must
+// fail loudly, never pass vacuously.
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := lint.LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil ||
+		!strings.Contains(err.Error(), "-update-baseline") {
+		t.Errorf("missing baseline: err = %v, want pointer to -update-baseline", err)
+	}
+	path := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(path, []byte(`{"schema":9,"findings":[]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema 9") {
+		t.Errorf("schema mismatch: err = %v, want schema complaint", err)
+	}
+}
+
+// TestCountByAnalyzer pins the summary-term format.
+func TestCountByAnalyzer(t *testing.T) {
+	got := lint.CountByAnalyzer([]lint.Finding{
+		{Analyzer: "gcbounds"}, {Analyzer: "gcbounds"}, {Analyzer: "hotalloc"},
+	})
+	want := []string{"gcbounds:2", "hotalloc:1"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("CountByAnalyzer = %v, want %v", got, want)
+	}
+}

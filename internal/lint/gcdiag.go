@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file is the gcdiag subsystem: verification of the compiler's half
+// of the hot-path bargain. The AST analyzers (hotalloc, hotdispatch) can
+// only reject allocation and dispatch *syntax*; whether a value actually
+// stays on the stack, whether a bounds check actually disappears, and
+// whether a helper actually inlines are decisions the compiler makes long
+// after parsing. gcdiag runs
+//
+//	go build -gcflags='-m=2 -d=ssa/check_bce/debug=1' <packages>
+//
+// parses the escape-analysis, inlining and bounds-check diagnostics into
+// per-position facts, and checks them against the annotation contracts:
+//
+//   - gcescape: a //snug:hotpath body must compile with zero heap escapes
+//     ("... escapes to heap" / "moved to heap" inside the body);
+//   - gcbounds: a //snug:hotpath body must compile with zero bounds checks
+//     ("Found IsInBounds" / "Found IsSliceInBounds" inside the body —
+//     including checks attributed to calls the compiler inlined there);
+//   - gcinline: a //snug:inline function must be provably inlinable ("can
+//     inline" at its declaration; "cannot inline" is a violation carrying
+//     the compiler's own reason).
+//
+// Violations are suppressible only via the ordinary //snug:allow grammar
+// (`//snug:allow gcbounds <why>` on the offending line), so every standing
+// exception is justified in the source it excuses.
+//
+// # Version-skew policy
+//
+// The diagnostic text is an implementation detail of cmd/compile and may
+// drift across Go releases. The parser is therefore deliberately
+// permissive — unrecognized lines are ignored — but never silently
+// vacuous: a run that parses zero inlining decisions fails loudly, since
+// -m=2 emits one per function and their absence means the format changed
+// (or the build cache swallowed the output). DESIGN.md §"Statically-
+// checked invariants" records the recognized shapes per Go release.
+
+// Compiler-contract check names. They live in the same namespace as the
+// AST analyzer names for //snug:allow and baseline purposes.
+const (
+	CheckEscape = "gcescape"
+	CheckBounds = "gcbounds"
+	CheckInline = "gcinline"
+)
+
+// gcFactKind classifies one recognized compiler diagnostic.
+type gcFactKind int
+
+const (
+	factEscape gcFactKind = iota
+	factBounds
+	factCanInline
+	factCannotInline
+)
+
+// gcFact is one parsed compiler diagnostic: a position plus the classified
+// message.
+type gcFact struct {
+	file string // absolute path
+	line int
+	col  int
+	kind gcFactKind
+	msg  string
+}
+
+// compileDiagnostics builds the patterns under dir with the diagnostic
+// gcflags and returns the combined compiler output. The go command caches
+// compiles keyed on the flags and replays the recorded diagnostics on
+// cache hits, so repeated runs are cheap and still produce full output.
+// -trimpath is load-bearing, not cosmetic: replayed diagnostics keep the
+// positions recorded at the original compile, and without it those are
+// relative to the *original* working directory — a cache hit from a
+// different cwd would yield unresolvable ../..-style paths. Trimmed
+// positions are module-path-prefixed ("snug/internal/...") and identical
+// from any directory.
+func compileDiagnostics(dir string, patterns []string) (string, error) {
+	args := append([]string{"build", "-trimpath", "-gcflags=-m=2 -d=ssa/check_bce/debug=1"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags: %v\n%s", err, out.String())
+	}
+	return out.String(), nil
+}
+
+// parseCompilerFacts extracts the recognized diagnostics from compiler
+// output. -trimpath positions carry the module path ("snug/internal/x.go")
+// and resolve against the module root; other relative filenames resolve
+// against dir. Repeated facts at one position (the compiler re-reports
+// bounds checks once per inlined copy) are deduplicated.
+func parseCompilerFacts(dir, root, modpath, output string) []gcFact {
+	var facts []gcFact
+	seen := make(map[gcFact]bool)
+	for _, raw := range strings.Split(output, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, ok := parseFactLine(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(f.file) {
+			if rest, ok := strings.CutPrefix(f.file, modpath+"/"); ok {
+				f.file = filepath.Join(root, filepath.FromSlash(rest))
+			} else {
+				f.file = filepath.Join(dir, f.file)
+			}
+		}
+		if !seen[f] {
+			seen[f] = true
+			facts = append(facts, f)
+		}
+	}
+	return facts
+}
+
+// parseFactLine parses one "file.go:line:col: message" diagnostic and
+// classifies the message, reporting ok=false for positions or messages it
+// does not recognize.
+func parseFactLine(line string) (gcFact, bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return gcFact{}, false
+	}
+	file := line[:i+3]
+	rest := line[i+4:]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return gcFact{}, false
+	}
+	lineNo, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return gcFact{}, false
+	}
+	rest = rest[j+1:]
+	j = strings.IndexByte(rest, ':')
+	if j < 0 {
+		return gcFact{}, false
+	}
+	colNo, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return gcFact{}, false
+	}
+	msg := strings.TrimSpace(rest[j+1:])
+	f := gcFact{file: file, line: lineNo, col: colNo, msg: msg}
+	switch {
+	case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+		f.kind = factBounds
+	case strings.HasPrefix(msg, "can inline "):
+		f.kind = factCanInline
+		// Drop the "as: ..." body dump -m=2 appends; the decision is the fact.
+		if k := strings.Index(f.msg, " as: "); k >= 0 {
+			f.msg = f.msg[:k]
+		}
+	case strings.HasPrefix(msg, "cannot inline "):
+		f.kind = factCannotInline
+	case strings.HasPrefix(msg, "moved to heap:"):
+		f.kind = factEscape
+	case strings.HasSuffix(msg, "escapes to heap") || strings.HasSuffix(msg, "escapes to heap:"):
+		// Both the summary line and the explained variant (trailing colon,
+		// followed by flow lines the position prefix repeats) occur; they
+		// dedupe to one fact once the colon is stripped.
+		f.kind = factEscape
+		f.msg = strings.TrimSuffix(f.msg, ":")
+	default:
+		return gcFact{}, false
+	}
+	return f, true
+}
+
+// funcContract is one annotated function's compiler contract.
+type funcContract struct {
+	pkg      *Package
+	file     *ast.File
+	name     string
+	declLine int
+	bodyEnd  int // last line of the body; the range starts at declLine
+	hotpath  bool
+	inline   bool
+
+	inlineSeen bool // an inlining decision was recorded at the declaration
+}
+
+// collectContracts walks the loaded packages for //snug:hotpath and
+// //snug:inline functions, keyed by absolute filename.
+func collectContracts(pkgs []*Package) map[string][]*funcContract {
+	byFile := make(map[string][]*funcContract)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Package).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				hot, inl := isHotPath(fn), wantsInline(fn)
+				if !hot && !inl {
+					continue
+				}
+				byFile[name] = append(byFile[name], &funcContract{
+					pkg:      pkg,
+					file:     f,
+					name:     fn.Name.Name,
+					declLine: pkg.Fset.Position(fn.Pos()).Line,
+					bodyEnd:  pkg.Fset.Position(fn.Body.End()).Line,
+					hotpath:  hot,
+					inline:   inl,
+				})
+			}
+		}
+	}
+	return byFile
+}
+
+// CompilerContract compiles the patterns under dir with diagnostic flags
+// and checks every //snug:hotpath and //snug:inline function in pkgs
+// against the compiler's recorded decisions. Active violations are
+// returned sorted; suppressed ones accumulate on their package's
+// Suppressed list. The gcescape/gcbounds/gcinline checks are marked as
+// having run on every package, which arms staleallow for their directives.
+func CompilerContract(dir string, pkgs []*Package, patterns []string) ([]Diagnostic, error) {
+	output, err := compileDiagnostics(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := goModulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	facts := parseCompilerFacts(dir, root, modpath, output)
+	decisions := 0
+	for _, f := range facts {
+		if f.kind == factCanInline || f.kind == factCannotInline {
+			decisions++
+		}
+	}
+	if decisions == 0 {
+		return nil, fmt.Errorf("compiler contract: no inlining decisions parsed from %d bytes of go build -gcflags='-m=2' output; the diagnostic format may have changed with this Go release (see DESIGN.md, version-skew policy)", len(output))
+	}
+	for _, pkg := range pkgs {
+		pkg.markRan(CheckEscape, CheckBounds, CheckInline)
+	}
+	contracts := collectContracts(pkgs)
+
+	var diags []Diagnostic
+	for _, f := range facts {
+		cs, ok := contracts[f.file]
+		if !ok {
+			continue
+		}
+		switch f.kind {
+		case factEscape, factBounds:
+			for _, c := range cs {
+				if !c.hotpath || f.line < c.declLine || f.line > c.bodyEnd {
+					continue
+				}
+				if f.kind == factEscape {
+					c.reportf(f, &diags, CheckEscape,
+						"heap escape in hot path %s: %s; keep the value on the stack or annotate with %s gcescape <why>", c.name, f.msg, allowDirective)
+				} else {
+					c.reportf(f, &diags, CheckBounds,
+						"bounds check in hot path %s: the compiler kept %s here; restructure so the index is provably in range or annotate with %s gcbounds <why>", c.name, strings.TrimPrefix(f.msg, "Found "), allowDirective)
+				}
+			}
+		case factCanInline, factCannotInline:
+			for _, c := range cs {
+				if f.line != c.declLine || !strings.Contains(f.msg, c.name) {
+					continue
+				}
+				c.inlineSeen = true
+				if c.inline && f.kind == factCannotInline {
+					reason := f.msg
+					if k := strings.Index(reason, ": "); k >= 0 {
+						reason = reason[k+2:]
+					}
+					c.reportf(f, &diags, CheckInline,
+						"%s is annotated %s but the compiler will not inline it: %s; shrink it below the budget or annotate with %s gcinline <why>", c.name, inlineDirective, reason, allowDirective)
+				}
+			}
+		}
+	}
+	// A //snug:inline function with no recorded decision means the compile
+	// skipped it or the parser missed it — either way the contract is
+	// unverified, which must not pass silently.
+	for _, cs := range contracts {
+		for _, c := range cs {
+			if c.inline && !c.inlineSeen {
+				f := gcFact{file: c.pkg.Fset.Position(c.file.Package).Filename, line: c.declLine, col: 1}
+				c.reportf(f, &diags, CheckInline,
+					"no inlining decision recorded for %s %s: the compile may not cover this package or the diagnostic format changed (version skew; see DESIGN.md)", inlineDirective, c.name)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// reportf routes one contract violation through the package's allow
+// machinery. Allow lookup happens at the fact line's start (//snug:allow
+// scoping is line-granular), while the rendered diagnostic keeps the
+// compiler's own column.
+func (c *funcContract) reportf(f gcFact, diags *[]Diagnostic, check, format string, args ...any) {
+	rendered := token.Position{Filename: f.file, Line: f.line, Column: f.col}
+	c.pkg.reportAt(c.pkg.Fset, check, c.posFor(f), rendered, fmt.Sprintf(format, args...), diags)
+}
+
+// posFor converts a fact's file:line back into a token.Pos inside the
+// contract's file, so allow lookup agrees with the AST analyzers.
+func (c *funcContract) posFor(f gcFact) token.Pos {
+	tf := c.pkg.Fset.File(c.file.Pos())
+	if tf == nil || f.line < 1 || f.line > tf.LineCount() {
+		return c.file.Pos()
+	}
+	return tf.LineStart(f.line)
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseFactLine pins the recognized diagnostic shapes (the version-skew
+// surface): escape analysis, bounds checks and inlining decisions as
+// emitted by go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'.
+func TestParseFactLine(t *testing.T) {
+	tests := []struct {
+		line string
+		want gcFact
+		ok   bool
+	}{
+		{
+			line: "internal/cache/cache.go:244:13: Found IsInBounds",
+			want: gcFact{file: "internal/cache/cache.go", line: 244, col: 13, kind: factBounds, msg: "Found IsInBounds"},
+			ok:   true,
+		},
+		{
+			line: "a/b.go:10:2: Found IsSliceInBounds",
+			want: gcFact{file: "a/b.go", line: 10, col: 2, kind: factBounds, msg: "Found IsSliceInBounds"},
+			ok:   true,
+		},
+		{
+			line: "a/b.go:5:6: can inline matchWay with cost 64 as: method(*Cache) func(uint32, uint64) int { ... }",
+			want: gcFact{file: "a/b.go", line: 5, col: 6, kind: factCanInline, msg: "can inline matchWay with cost 64"},
+			ok:   true,
+		},
+		{
+			line: "a/b.go:5:6: cannot inline place: function too complex: cost 203 exceeds budget 80",
+			want: gcFact{file: "a/b.go", line: 5, col: 6, kind: factCannotInline, msg: "cannot inline place: function too complex: cost 203 exceeds budget 80"},
+			ok:   true,
+		},
+		{
+			line: "a/b.go:8:2: moved to heap: v",
+			want: gcFact{file: "a/b.go", line: 8, col: 2, kind: factEscape, msg: "moved to heap: v"},
+			ok:   true,
+		},
+		{
+			line: "a/b.go:9:10: new(int) escapes to heap",
+			want: gcFact{file: "a/b.go", line: 9, col: 10, kind: factEscape, msg: "new(int) escapes to heap"},
+			ok:   true,
+		},
+		{
+			// The explained -m=2 variant ends with a colon; it must strip to
+			// the same message as the summary line so the two dedupe.
+			line: "a/b.go:9:10: new(int) escapes to heap:",
+			want: gcFact{file: "a/b.go", line: 9, col: 10, kind: factEscape, msg: "new(int) escapes to heap"},
+			ok:   true,
+		},
+		// Ignored shapes: not contract-relevant or not diagnostics at all.
+		{line: "a/b.go:3:7: leaking param: xs to result ~r0 level=0", ok: false},
+		{line: "a/b.go:4:2: x does not escape", ok: false},
+		{line: "# snug/internal/cache", ok: false},
+		{line: "a/b.go:12:2: inlining call to rankShift", ok: false},
+		{line: "no position prefix at all", ok: false},
+		{line: "a/b.go:bad:1: Found IsInBounds", ok: false},
+	}
+	for _, tt := range tests {
+		got, ok := parseFactLine(tt.line)
+		if ok != tt.ok {
+			t.Errorf("parseFactLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseFactLine(%q) =\n  %+v\nwant\n  %+v", tt.line, got, tt.want)
+		}
+	}
+}
+
+// TestParseCompilerFacts covers the output-level behavior: module-path
+// prefixed positions (what -trimpath emits) resolve against the module
+// root no matter the working directory, other relative paths resolve
+// against the build directory, repeated facts (one per inlined copy)
+// deduplicate, and unrecognized lines are skipped silently.
+func TestParseCompilerFacts(t *testing.T) {
+	output := `# example/pkg
+example/pkg/a.go:10:5: Found IsInBounds
+example/pkg/a.go:10:5: Found IsInBounds
+/abs/pkg/b.go:3:6: can inline f with cost 7 as: func() int { return 1 }
+example/pkg/a.go:12:2: moved to heap: v
+example/pkg/a.go:12:2: moved to heap: v
+slices/sort.go:4:6: Found IsInBounds
+something the parser does not recognize
+`
+	facts := parseCompilerFacts("/anywhere/cwd", "/root/mod", "example", output)
+	want := []gcFact{
+		{file: "/root/mod/pkg/a.go", line: 10, col: 5, kind: factBounds, msg: "Found IsInBounds"},
+		{file: "/abs/pkg/b.go", line: 3, col: 6, kind: factCanInline, msg: "can inline f with cost 7"},
+		{file: "/root/mod/pkg/a.go", line: 12, col: 2, kind: factEscape, msg: "moved to heap: v"},
+		{file: "/anywhere/cwd/slices/sort.go", line: 4, col: 6, kind: factBounds, msg: "Found IsInBounds"},
+	}
+	if !reflect.DeepEqual(facts, want) {
+		t.Errorf("parseCompilerFacts =\n  %+v\nwant\n  %+v", facts, want)
+	}
+}

@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snug/internal/lint"
+)
+
+// TestCompilerContract compiles the testdata/gcdiag fixture module — its
+// own go.mod keeps it out of the parent module's patterns — and checks the
+// contract end to end against a real compile: hotpath escape and bounds
+// violations and a failed //snug:inline are reported, the justified
+// //snug:allow gcescape is suppressed (not failing, not lost), and the
+// clean fixtures produce nothing.
+func TestCompilerContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture module; skipped in -short")
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "gcdiag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	diags, err := lint.CompilerContract(dir, pkgs, []string{"./..."})
+	if err != nil {
+		t.Fatalf("CompilerContract: %v", err)
+	}
+
+	type wantDiag struct {
+		analyzer, inMessage string
+	}
+	wants := []wantDiag{
+		{lint.CheckEscape, "heap escape in hot path EscapeHot"},
+		{lint.CheckBounds, "bounds check in hot path BoundsHot"},
+		{lint.CheckInline, "TooBig is annotated //snug:inline but the compiler will not inline it"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.inMessage) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic containing %q; got:\n%s", w.analyzer, w.inMessage, render(diags))
+		}
+	}
+	for _, d := range diags {
+		for _, clean := range []string{"CleanHot", "SmallInline", "AllowedEscape"} {
+			if strings.Contains(d.Message, clean) {
+				t.Errorf("clean fixture %s was flagged: %s", clean, d.Message)
+			}
+		}
+	}
+
+	// The justified escape must be suppressed with its justification kept.
+	suppressed := false
+	for _, pkg := range pkgs {
+		for _, d := range pkg.Suppressed {
+			if d.Analyzer == lint.CheckEscape && strings.Contains(d.Message, "AllowedEscape") {
+				suppressed = true
+				if !d.Allowed || d.Justification == "" {
+					t.Errorf("suppressed escape lost its allow state: %+v", d)
+				}
+			}
+		}
+	}
+	if !suppressed {
+		t.Errorf("AllowedEscape's gcescape violation was not routed to Suppressed")
+	}
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

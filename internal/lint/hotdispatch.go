@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotDispatch closes the hotalloc analyzer's blind spots: costs in a
+// //snug:hotpath body that are not allocation sites syntactically but tax
+// every call dynamically or allocate behind a conversion. Flagged inside a
+// hotpath body:
+//
+//   - interface method calls: dynamic dispatch defeats inlining and
+//     devirtualization, putting an indirect call in the per-instruction
+//     loop (the simulator's hot paths are monomorphic by design — streams
+//     are batch-decoded outside the hotpath functions);
+//   - defer: a defer record is scheduled per call, and an open-coded defer
+//     still disables inlining of the deferring function;
+//   - string <-> []byte conversions: each direction copies the bytes and
+//     in the general case heap-allocates the copy.
+//
+// Justified exceptions carry `//snug:allow hotdispatch <why>` on the line.
+var HotDispatch = &Analyzer{
+	Name: "hotdispatch",
+	Doc:  "forbids interface dispatch, defer and string<->[]byte conversions in //snug:hotpath functions",
+	Run:  runHotDispatch,
+}
+
+func runHotDispatch(pass *Pass) error {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				return true
+			}
+			checkHotDispatch(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotDispatch(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s: schedules a defer record per call and blocks inlining; restructure or annotate with %s hotdispatch <why>", name, allowDirective)
+		case *ast.CallExpr:
+			switch {
+			case isInterfaceCall(pass, n):
+				pass.Reportf(n.Pos(), "interface method call in hot path %s: dynamic dispatch defeats inlining and devirtualization; take a concrete type or annotate with %s hotdispatch <why>", name, allowDirective)
+			case isStringBytesConversion(pass, n):
+				pass.Reportf(n.Pos(), "string<->[]byte conversion in hot path %s: copies (and may heap-allocate) per call; keep one representation or annotate with %s hotdispatch <why>", name, allowDirective)
+			}
+		}
+		return true
+	})
+}
+
+// isInterfaceCall reports whether call invokes a method through an
+// interface value.
+func isInterfaceCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return types.IsInterface(s.Recv())
+}
+
+// isStringBytesConversion reports whether call converts string to []byte
+// or []byte to string.
+func isStringBytesConversion(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	from := pass.TypeOf(call.Args[0])
+	if from == nil {
+		return false
+	}
+	to := tv.Type
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

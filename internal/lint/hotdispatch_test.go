@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snug/internal/lint"
+	"snug/internal/lint/linttest"
+)
+
+func TestHotDispatch(t *testing.T) {
+	linttest.Run(t, "testdata/hotdispatch", lint.HotDispatch, "hot")
+}

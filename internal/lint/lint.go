@@ -8,7 +8,7 @@
 // standard library only. The API mirrors go/analysis closely enough that
 // the analyzers could be ported to x/tools by swapping the framework types.
 //
-// Five analyzers ship today:
+// Seven AST analyzers ship today:
 //
 //   - maporder: flags `range` over a map in a result-affecting package —
 //     map iteration order is randomized per process, so any result that
@@ -22,16 +22,36 @@
 //   - hotalloc: functions annotated //snug:hotpath must not allocate
 //     (append / make / new / map writes / capturing closures), locking in
 //     the allocs-per-run wins measured by cmd/bench.
+//   - hotdispatch: //snug:hotpath bodies must not pay dynamic-dispatch or
+//     conversion taxes: interface method calls, defer, and string↔[]byte
+//     conversions are flagged.
 //   - coordinator: code marked //snug:coreside (runs on the epoch engine's
 //     per-core goroutines) must never reach, through same-package static
 //     calls, a //snug:coordinator function or a schemes.Controller method;
 //     mutating Controller methods must carry the coordinator mark.
+//   - staleallow: every //snug:allow directive must name a known check and
+//     actually suppress something — a directive whose named analyzer ran
+//     but reported nothing on its lines is dead weight that would silently
+//     mask a future regression at that site.
+//
+// Alongside the AST suite, the gcdiag subsystem (gcdiag.go) verifies the
+// compiler's half of the hot-path bargain: it parses `go build`
+// escape-analysis, inlining and bounds-check diagnostics and checks them
+// against //snug:hotpath (checks gcescape, gcbounds) and //snug:inline
+// (check gcinline) contracts.
 //
 // # Annotation grammar
 //
 //	//snug:hotpath
 //	    In a function's doc comment: the function body is subject to the
-//	    hotalloc analyzer.
+//	    hotalloc and hotdispatch analyzers, and — under the compiler
+//	    contract (cmd/snuglint -compiler) — must compile with zero heap
+//	    escapes (gcescape) and zero bounds checks (gcbounds).
+//
+//	//snug:inline
+//	    In a function's doc comment: under the compiler contract the
+//	    function must be provably inlinable ("can inline" in -m=2 output);
+//	    a "cannot inline" decision is a gcinline finding.
 //
 //	//snug:coordinator
 //	    In a function's doc comment: the function touches shared below-L1
@@ -43,11 +63,14 @@
 //	    goroutine of the epoch engine; the coordinator analyzer walks its
 //	    static call graph and rejects paths into coordinator-only code.
 //
-//	//snug:allow <analyzer> [justification...]
+//	//snug:allow <check> [justification...]
 //	    Trailing on a line, or alone on the line above: suppresses the
-//	    named analyzer's diagnostics on that line. The justification is
+//	    named check's diagnostics on that line. The justification is
 //	    free text but conventionally states why the exception is sound
-//	    (e.g. "progress/ETA only, never feeds results").
+//	    (e.g. "progress/ETA only, never feeds results"). Valid names are
+//	    the AST analyzers plus the compiler-contract checks (gcescape,
+//	    gcbounds, gcinline); an unknown name, or a directive that
+//	    suppresses nothing, is itself a staleallow diagnostic.
 package lint
 
 import (
@@ -71,6 +94,12 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Allowed marks a finding suppressed by a //snug:allow directive;
+	// Justification carries the directive's free-text rationale. Allowed
+	// findings never fail a run but are reported in -json output so
+	// downstream tooling sees the full allow-state.
+	Allowed       bool
+	Justification string
 }
 
 func (d Diagnostic) String() string {
@@ -84,7 +113,31 @@ type Package struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
-	allows map[*ast.File]map[int][]string // line -> analyzers allowed there
+	// Suppressed accumulates the findings //snug:allow directives absorbed,
+	// across every analyzer and compiler-contract check run on the package.
+	Suppressed []Diagnostic
+
+	allows map[*ast.File]map[int][]*allowEntry // line -> directives on it
+	ran    map[string]bool                     // checks that have run here
+}
+
+// allowEntry is one parsed //snug:allow directive occurrence.
+type allowEntry struct {
+	name          string // the named check
+	justification string
+	pos           token.Pos // position of the directive comment
+	used          bool      // directive suppressed at least one finding
+}
+
+// markRan records that the named check has run over this package — the
+// staleallow analyzer only judges directives whose check actually ran.
+func (pkg *Package) markRan(names ...string) {
+	if pkg.ran == nil {
+		pkg.ran = make(map[string]bool)
+	}
+	for _, n := range names {
+		pkg.ran[n] = true
+	}
 }
 
 // Pass carries one analyzer's view of one package. It mirrors
@@ -113,18 +166,34 @@ func (p *Pass) Files() []*ast.File {
 	return out
 }
 
-// Reportf records a diagnostic at pos unless a //snug:allow directive for
-// this analyzer covers the line (same line, or the whole line above).
+// Reportf records a diagnostic at pos. If a //snug:allow directive for
+// this analyzer covers the line (same line, or the whole line above), the
+// finding lands in the package's Suppressed list instead, with the
+// directive marked used.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.pkg.allowedAt(p.Fset, pos, p.Analyzer.Name) {
+	p.pkg.report(p.Fset, p.Analyzer.Name, pos, fmt.Sprintf(format, args...), p.diags)
+}
+
+// report is the shared diagnostic sink behind Pass.Reportf and the
+// compiler-contract checker: it applies //snug:allow suppression, tracks
+// directive usage, and routes the finding to diags or pkg.Suppressed.
+func (pkg *Package) report(fset *token.FileSet, analyzer string, pos token.Pos, msg string, diags *[]Diagnostic) {
+	pkg.reportAt(fset, analyzer, pos, fset.Position(pos), msg, diags)
+}
+
+// reportAt is report with the rendered position decoupled from the allow
+// lookup position — the compiler-contract checker resolves allows at the
+// line start but renders the compiler's own column.
+func (pkg *Package) reportAt(fset *token.FileSet, analyzer string, pos token.Pos, rendered token.Position, msg string, diags *[]Diagnostic) {
+	d := Diagnostic{Analyzer: analyzer, Pos: rendered, Message: msg}
+	if e := pkg.allowedAt(fset, pos, analyzer); e != nil {
+		e.used = true
+		d.Allowed = true
+		d.Justification = e.justification
+		pkg.Suppressed = append(pkg.Suppressed, d)
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      position,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	*diags = append(*diags, d)
 }
 
 // TypeOf returns the type of expr, or nil if unknown.
@@ -178,13 +247,36 @@ func modulePath(path string) bool {
 	return path == "snug" || strings.HasPrefix(path, "snug/")
 }
 
-// Analyzers is the full suite in reporting order.
+// Analyzers is the full suite in execution order. StaleAllow must run
+// last: it judges the //snug:allow directives every earlier analyzer (and,
+// in -compiler runs, the gcdiag checker) had a chance to consume.
 var Analyzers = []*Analyzer{
 	MapOrder,
 	WallClock,
 	SeedDiscipline,
 	HotAlloc,
+	HotDispatch,
 	Coordinator,
+	StaleAllow,
+}
+
+// CompilerChecks are the compiler-contract check names the gcdiag
+// subsystem reports under. They are valid //snug:allow targets but are not
+// AST analyzers; cmd/snuglint runs them only with -compiler.
+var CompilerChecks = []string{CheckEscape, CheckBounds, CheckInline}
+
+// KnownCheck reports whether name is a valid //snug:allow target: an AST
+// analyzer or a compiler-contract check.
+func KnownCheck(name string) bool {
+	if ByName(name) != nil {
+		return true
+	}
+	for _, c := range CompilerChecks {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -198,10 +290,12 @@ func ByName(name string) *Analyzer {
 }
 
 // Run applies the analyzers to one package and returns the surviving
-// diagnostics sorted by position.
+// diagnostics sorted by position. Suppressed findings accumulate on
+// pkg.Suppressed.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		pkg.markRan(a.Name)
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -214,6 +308,11 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return diags, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -222,43 +321,55 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 // allowDirective is the suppression directive prefix; hotpathDirective
-// marks a function for the hotalloc analyzer.
+// marks a function for the hotalloc/hotdispatch analyzers and the
+// gcescape/gcbounds compiler contract; inlineDirective marks a function
+// for the gcinline compiler contract.
 const (
 	allowDirective   = "//snug:allow"
 	hotpathDirective = "//snug:hotpath"
+	inlineDirective  = "//snug:inline"
 )
 
-// allowedAt reports whether a //snug:allow directive for analyzer covers
-// pos: a directive suppresses its own line and the line directly below it
-// (so it can trail the offending statement or sit alone above it).
-func (pkg *Package) allowedAt(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+// allowedAt returns the //snug:allow directive for analyzer covering pos,
+// or nil: a directive suppresses its own line and the line directly below
+// it (so it can trail the offending statement or sit alone above it).
+func (pkg *Package) allowedAt(fset *token.FileSet, pos token.Pos, analyzer string) *allowEntry {
 	file := fileOf(pkg, pos)
 	if file == nil {
-		return false
+		return nil
 	}
+	idx := pkg.allowIndex(fset, file)
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, e := range idx[l] {
+			if e.name == analyzer {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// allowIndex returns the file's line-indexed //snug:allow directives,
+// building and caching the index on first use.
+func (pkg *Package) allowIndex(fset *token.FileSet, file *ast.File) map[int][]*allowEntry {
 	if pkg.allows == nil {
-		pkg.allows = make(map[*ast.File]map[int][]string)
+		pkg.allows = make(map[*ast.File]map[int][]*allowEntry)
 	}
 	idx, ok := pkg.allows[file]
 	if !ok {
 		idx = buildAllowIndex(fset, file)
 		pkg.allows[file] = idx
 	}
-	line := fset.Position(pos).Line
-	for _, l := range []int{line, line - 1} {
-		for _, name := range idx[l] {
-			if name == analyzer {
-				return true
-			}
-		}
-	}
-	return false
+	return idx
 }
 
 func fileOf(pkg *Package, pos token.Pos) *ast.File {
@@ -270,8 +381,8 @@ func fileOf(pkg *Package, pos token.Pos) *ast.File {
 	return nil
 }
 
-func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]string {
-	idx := make(map[int][]string)
+func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]*allowEntry {
+	idx := make(map[int][]*allowEntry)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			rest, ok := strings.CutPrefix(c.Text, allowDirective)
@@ -283,7 +394,11 @@ func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]string {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
-			idx[line] = append(idx[line], fields[0])
+			idx[line] = append(idx[line], &allowEntry{
+				name:          fields[0],
+				justification: strings.Join(fields[1:], " "),
+				pos:           c.Pos(),
+			})
 		}
 	}
 	return idx
@@ -291,14 +406,8 @@ func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]string {
 
 // isHotPath reports whether a function declaration carries the
 // //snug:hotpath directive in its doc comment.
-func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
-			return true
-		}
-	}
-	return false
-}
+func isHotPath(fn *ast.FuncDecl) bool { return hasDirective(fn, hotpathDirective) }
+
+// wantsInline reports whether a function declaration carries the
+// //snug:inline directive in its doc comment.
+func wantsInline(fn *ast.FuncDecl) bool { return hasDirective(fn, inlineDirective) }

@@ -35,15 +35,23 @@ import (
 // compares diagnostics against the tree's // want expectations.
 func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunAnalyzers(t, srcRoot, []*lint.Analyzer{a}, pkgPaths...)
+}
+
+// RunAnalyzers is Run for a whole analyzer slice sharing one pass per
+// package — required for staleallow, which only judges //snug:allow
+// directives of analyzers that ran in the same lint.Run call.
+func RunAnalyzers(t *testing.T, srcRoot string, as []*lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
 	ld := newLoader(filepath.Join(srcRoot, "src"))
 	for _, path := range pkgPaths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+		diags, err := lint.Run(pkg, as)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			t.Fatalf("running %d analyzers on %s: %v", len(as), path, err)
 		}
 		checkWants(t, ld.fset, pkg, diags)
 	}

@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snug/internal/lint"
+)
+
+// writeModule lays out a throwaway module for loader error-path tests.
+// Files maps module-relative paths to contents; a minimal go.mod is added.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module loadfixture\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// The loader must turn bad input into contextual errors, never panics and
+// never silent empty results: each case checks the error names the problem.
+
+func TestLoadUnparseableSource(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc f( {\n",
+	})
+	_, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on an unparseable file")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error does not name the unparseable file: %v", err)
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	_, err := lint.Load(dir, "./doesnotexist")
+	if err == nil {
+		t.Fatal("Load succeeded on a missing package pattern")
+	}
+	if !strings.Contains(err.Error(), "doesnotexist") {
+		t.Errorf("error does not name the missing package: %v", err)
+	}
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	_, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a type-check failure")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error does not name the failing package: %v", err)
+	}
+}
+
+func TestLoadMissingImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"needy/needy.go": "package needy\n\nimport \"no/such/dependency\"\n\nvar _ = dependency.X\n",
+	})
+	_, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded with an unresolvable import")
+	}
+	if !strings.Contains(err.Error(), "no/such/dependency") {
+		t.Errorf("error does not name the unresolvable import: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// StaleAllow audits the //snug:allow directives themselves. A directive is
+// a standing exception to a static guarantee; one that no longer matches
+// any diagnostic is not harmless noise — it silently pre-approves the next
+// regression on its line. Two findings share this machinery:
+//
+//   - unknown check: the directive names neither an AST analyzer nor a
+//     compiler-contract check, so it can never suppress anything (today
+//     such a directive is silently inert — a typo like "hotallocs" leaves
+//     the site unprotected while looking annotated);
+//   - stale directive: the named check ran over this package and reported
+//     nothing on the directive's lines, so the exception is dead.
+//
+// A directive naming a check that did not run this invocation (the
+// compiler-contract checks in runs without -compiler, or a single-analyzer
+// test run) is skipped: absence of evidence is not staleness.
+//
+// StaleAllow must run after every other analyzer (and after the gcdiag
+// compiler pass, when enabled) so directive usage is fully accounted; it
+// is last in the Analyzers suite and cmd/snuglint sequences it after the
+// compiler contract.
+var StaleAllow = &Analyzer{
+	Name: "staleallow",
+	Doc:  "flags //snug:allow directives that name unknown checks or suppress nothing",
+}
+
+// Run is bound in an init function: runStaleAllow reaches the Analyzers
+// registry through KnownCheck, and a static assignment would form an
+// initialization cycle with the suite slice that contains StaleAllow.
+func init() { StaleAllow.Run = runStaleAllow }
+
+func runStaleAllow(pass *Pass) error {
+	pkg := pass.pkg
+	for _, f := range pass.Files() {
+		idx := pkg.allowIndex(pass.Fset, f)
+		lines := make([]int, 0, len(idx))
+		for line := range idx {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, e := range idx[line] {
+				switch {
+				case !KnownCheck(e.name):
+					pass.Reportf(e.pos, "unknown check %q in %s directive (known: %s); a misspelled name suppresses nothing", e.name, allowDirective, knownCheckList())
+				case pkg.ran[e.name] && !e.used:
+					pass.Reportf(e.pos, "stale %s %s: the %s check ran and reported nothing here; delete the directive so it cannot mask a future finding", allowDirective, e.name, e.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// knownCheckList renders the valid //snug:allow targets for messages.
+func knownCheckList() string {
+	names := make([]string, 0, len(Analyzers)+len(CompilerChecks))
+	for _, a := range Analyzers {
+		names = append(names, a.Name)
+	}
+	names = append(names, CompilerChecks...)
+	return strings.Join(names, " ")
+}

@@ -1,0 +1,3 @@
+module gcdiagfixture
+
+go 1.21

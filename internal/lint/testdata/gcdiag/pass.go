@@ -1,0 +1,29 @@
+// Package fixture is the gcdiag compiler-contract corpus: a nested module
+// (its own go.mod, invisible to the parent module's package patterns) that
+// the contract test compiles for real with -m=2 and check_bce diagnostics.
+// This file holds the passing half; violate.go holds the violations.
+package fixture
+
+// CleanHot honors the full hotpath contract: the masked index is provably
+// in bounds (no check survives BCE) and nothing escapes.
+//
+//snug:hotpath
+func CleanHot(buf *[8]int, i int) int {
+	return buf[i&7]
+}
+
+// SmallInline is comfortably under the inline budget.
+//
+//snug:inline
+func SmallInline(x int) int {
+	return x*x + 1
+}
+
+// AllowedEscape violates gcescape but carries a justified directive on the
+// offending line (escape diagnostics point at the variable's declaration).
+//
+//snug:hotpath
+func AllowedEscape() *int {
+	v := 7 //snug:allow gcescape fixture: demonstrates a justified, suppressed escape
+	return &v
+}

@@ -1,0 +1,36 @@
+package fixture
+
+// EscapeHot violates gcescape: returning &v forces v off the stack
+// ("moved to heap: v" at its declaration, inside the hotpath body).
+//
+//snug:hotpath
+func EscapeHot() *int {
+	v := 42
+	return &v
+}
+
+// BoundsHot violates gcbounds: i is unconstrained, so the compiler keeps
+// an IsInBounds check in the body.
+//
+//snug:hotpath
+func BoundsHot(xs []int, i int) int {
+	return xs[i]
+}
+
+// TooBig violates gcinline: two calls to a noinline helper push its cost
+// far past the budget, so the compiler records "cannot inline".
+//
+//snug:inline
+func TooBig(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += helper(x)
+	}
+	for _, x := range xs {
+		s -= helper(x + 1)
+	}
+	return s
+}
+
+//go:noinline
+func helper(x int) int { return x * 2 }

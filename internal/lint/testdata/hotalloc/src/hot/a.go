@@ -29,6 +29,15 @@ func (t *T) Allowed(n int) {
 	t.buf = append(t.buf, n) //snug:allow hotalloc amortized growth to steady-state capacity
 }
 
+// AllowedAbove uses the standalone directive form: a //snug:allow on its
+// own line covers the statement directly below it.
+//
+//snug:hotpath
+func (t *T) AllowedAbove(n int) {
+	//snug:allow hotalloc side table rebuilt once per reconfiguration
+	t.m = make(map[int]int, n)
+}
+
 // CleanHot stays within the rules: index writes to slices, arithmetic,
 // and a non-capturing closure are all fine.
 //

@@ -1,0 +1,56 @@
+// Package hot exercises the hotdispatch analyzer: only functions annotated
+// //snug:hotpath are constrained, and only dynamic-cost constructs —
+// interface dispatch, defer, string<->[]byte conversions — are flagged.
+package hot
+
+import "sort"
+
+// Stream is the interface fixture; calling through it is dynamic dispatch.
+type Stream interface {
+	Next() int
+}
+
+// T is a fixture holding an interface field and byte/string state.
+type T struct {
+	s   Stream
+	buf []byte
+}
+
+// Bad violates every hotdispatch rule at once.
+//
+//snug:hotpath
+func (t *T) Bad(name string) int {
+	defer t.close()    // want "defer in hot path Bad"
+	n := t.s.Next()    // want "interface method call in hot path Bad"
+	bs := []byte(name) // want "string<->\\[\\]byte conversion in hot path Bad"
+	s := string(t.buf) // want "string<->\\[\\]byte conversion in hot path Bad"
+	return n + len(bs) + len(s)
+}
+
+// Allowed carries justified exceptions on each offending line.
+//
+//snug:hotpath
+func (t *T) Allowed() int {
+	n := t.s.Next() //snug:allow hotdispatch one dispatch per refill, amortized
+	return n
+}
+
+// CleanHot stays within the rules: concrete calls, sort.Search with a
+// closure (a func value, not an interface method), and byte indexing.
+//
+//snug:hotpath
+func (t *T) CleanHot(k int) int {
+	i := sort.Search(len(t.buf), func(j int) bool { return int(t.buf[j]) >= k })
+	return i + t.concrete()
+}
+
+func (t *T) concrete() int { return len(t.buf) }
+
+func (t *T) close() {}
+
+// NotHot is unannotated: interface dispatch, defer and conversions are
+// all fine outside hot paths.
+func (t *T) NotHot(name string) int {
+	defer t.close()
+	return t.s.Next() + len([]byte(name))
+}

@@ -1,0 +1,40 @@
+// Package hot exercises the staleallow analyzer, run together with
+// hotalloc so directive usage is accounted in the same pass: a directive
+// the named check actually suppressed is live, one it did not is stale,
+// one naming no known check is a typo, and one naming a check that did
+// not run (the compiler contract, absent here) is skipped.
+package hot
+
+// T is a fixture with allocation-prone state.
+type T struct {
+	buf []int
+}
+
+// Live has a directive that suppresses a real hotalloc finding: not stale.
+//
+//snug:hotpath
+func (t *T) Live(n int) {
+	t.buf = append(t.buf, n) //snug:allow hotalloc amortized growth to steady-state capacity
+}
+
+// Stale has a directive on a line hotalloc finds nothing on.
+//
+//snug:hotpath
+func (t *T) Stale(n int) {
+	t.buf[0] = n //snug:allow hotalloc nothing to excuse here // want "stale //snug:allow hotalloc"
+}
+
+// Typo names a check that does not exist; it can never suppress anything.
+//
+//snug:hotpath
+func (t *T) Typo(n int) {
+	t.buf = append(t.buf, n) //snug:allow hotallocs typo'd name // want "append in hot path Typo" "unknown check \"hotallocs\""
+}
+
+// NotRun names a compiler-contract check; without the compiler pass its
+// usage is unknowable, so it is neither live nor stale.
+//
+//snug:hotpath
+func (t *T) NotRun(n int) {
+	t.buf[0] = n //snug:allow gcbounds dynamic index, tracked in the baseline
+}

@@ -33,7 +33,7 @@ import (
 // vetVersion is the identity cmd/go caches vet results under. Bump it
 // whenever analyzer behavior changes so stale clean-verdicts are not
 // replayed from the build cache.
-const vetVersion = "snuglint version v1-stdlib"
+const vetVersion = "snuglint version v2-stdlib"
 
 // vetConfig mirrors the JSON config cmd/go hands a vet tool for one
 // compilation unit. Field names are the protocol; unused ones are omitted.
