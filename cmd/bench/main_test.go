@@ -187,6 +187,132 @@ func TestCheckStrictShapeRefuses(t *testing.T) {
 	}
 }
 
+// TestBaselineSectionRoundTrip pins the sectioned file schema: extra
+// shapes marshal as "benchmarks@gomaxprocs=<n>" siblings of the primary
+// section, survive a JSON round trip, and setSection merges rather than
+// replaces.
+func TestBaselineSectionRoundTrip(t *testing.T) {
+	b := Baseline{
+		GoVersion:  "go0.0",
+		GOARCH:     "amd64",
+		GOMAXPROCS: 1,
+		Benchmarks: map[string]Result{"SimulatorSpeed": {Iterations: 1, NsPerOp: 2}},
+		Shapes: map[int]map[string]Result{
+			4: {"SNUG16CoreParallel": {Iterations: 3, NsPerOp: 4}},
+		},
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"benchmarks@gomaxprocs=4"`) {
+		t.Fatalf("marshal lacks the section key: %s", raw)
+	}
+	var back Baseline
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if sec, ok := back.section(4); !ok || sec["SNUG16CoreParallel"].Iterations != 3 {
+		t.Fatalf("section(4) = %v, %v", sec, ok)
+	}
+	if sec, ok := back.section(1); !ok || sec["SimulatorSpeed"].NsPerOp != 2 {
+		t.Fatalf("section(1) = %v, %v", sec, ok)
+	}
+	if _, ok := back.section(2); ok {
+		t.Fatal("section(2) exists for an unrecorded shape")
+	}
+
+	back.setSection(4, map[string]Result{"SNUG16Core": {Iterations: 9}})
+	sec, _ := back.section(4)
+	if sec["SNUG16Core"].Iterations != 9 || sec["SNUG16CoreParallel"].Iterations != 3 {
+		t.Fatalf("setSection did not merge: %v", sec)
+	}
+
+	if err := json.Unmarshal([]byte(`{"benchmarks@gomaxprocs=zero":{}}`), &back); err == nil {
+		t.Fatal("malformed section key unmarshaled successfully")
+	}
+}
+
+// TestParsePairs covers the -require-faster grammar.
+func TestParsePairs(t *testing.T) {
+	got, err := parsePairs("SNUG16CoreParallel:SNUG16Core,CacheOps:BusContention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pair{
+		{fast: "SNUG16CoreParallel", slow: "SNUG16Core"},
+		{fast: "CacheOps", slow: "BusContention"},
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parsePairs = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"OnlyOne", "A:", ":B", "NoSuchBench:SNUG16Core", "SNUG16Core:NoSuchBench"} {
+		if _, err := parsePairs(bad); err == nil {
+			t.Errorf("parsePairs(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestCheckPairs drives the require-faster comparison on fabricated
+// results: a slower "fast" side must fail, a tie or win must pass, and a
+// pair sharing no gated metric must refuse rather than silently pass.
+func TestCheckPairs(t *testing.T) {
+	ps := []pair{{fast: "SNUG16CoreParallel", slow: "SNUG16Core"}}
+	mk := func(fast, slow float64) map[string]Result {
+		return map[string]Result{
+			"SNUG16CoreParallel": {Metrics: map[string]float64{"sim-cycles/s": fast}},
+			"SNUG16Core":         {Metrics: map[string]float64{"sim-cycles/s": slow}},
+		}
+	}
+	if err := checkPairs(io.Discard, ps, mk(200, 100)); err != nil {
+		t.Errorf("faster pair failed: %v", err)
+	}
+	if err := checkPairs(io.Discard, ps, mk(100, 100)); err != nil {
+		t.Errorf("tied pair failed: %v", err)
+	}
+	err := checkPairs(io.Discard, ps, mk(99, 100))
+	if err == nil || !strings.Contains(err.Error(), "slower than") {
+		t.Errorf("slower pair: err = %v, want a slower-than failure", err)
+	}
+	err = checkPairs(io.Discard, ps, map[string]Result{
+		"SNUG16CoreParallel": {}, "SNUG16Core": {},
+	})
+	if err == nil || !strings.Contains(err.Error(), "share no gated rate metric") {
+		t.Errorf("metric-free pair: err = %v, want the no-shared-metric refusal", err)
+	}
+}
+
+// TestCheckBaselineGatesAllocs: registry-marked benchmarks gate allocs/op
+// against the baseline — a regression beyond tolerance fails even when the
+// rate metrics are fine, and improvement passes.
+func TestCheckBaselineGatesAllocs(t *testing.T) {
+	base := map[string]Result{
+		"Figure9Throughput": {AllocsPerOp: 1000, Metrics: map[string]float64{"sim-cycles/s": 100}},
+	}
+	measure := func(allocs int64) map[string]Result {
+		return map[string]Result{
+			"Figure9Throughput": {AllocsPerOp: allocs, Metrics: map[string]float64{"sim-cycles/s": 100}},
+		}
+	}
+	if err := checkBaseline(io.Discard, "base.json", base, measure(500), 0.30, false); err != nil {
+		t.Errorf("improved allocs failed the gate: %v", err)
+	}
+	err := checkBaseline(io.Discard, "base.json", base, measure(2000), 0.30, false)
+	if err == nil || !strings.Contains(err.Error(), "allocation regression") {
+		t.Errorf("doubled allocs: err = %v, want an allocation regression", err)
+	}
+	// An unmarked benchmark's allocs are not gated, however bad.
+	unmarked := map[string]Result{
+		"SimulatorSpeed": {AllocsPerOp: 1000, Metrics: map[string]float64{"sim-cycles/s": 100}},
+	}
+	bloated := map[string]Result{
+		"SimulatorSpeed": {AllocsPerOp: 1 << 40, Metrics: map[string]float64{"sim-cycles/s": 100}},
+	}
+	if err := checkBaseline(io.Discard, "base.json", unmarked, bloated, 0.30, false); err != nil {
+		t.Errorf("unmarked benchmark's allocs were gated: %v", err)
+	}
+}
+
 // TestRunFlagErrors covers CLI error paths without running benchmarks.
 func TestRunFlagErrors(t *testing.T) {
 	cases := map[string][]string{

@@ -76,7 +76,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	replay := fs.Bool("replay", true, "record each cell's instruction streams once and replay them to every scheme (bit-identical results); false regenerates streams live per run")
 	ablation := fs.Bool("ablation", false, "run the SNUG ablation sweep instead of the figures")
 	intra := fs.Bool("intra", false, "run each simulation on the intra-run epoch engine: one goroutine per simulated core, bit-identical results (see DESIGN.md)")
-	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = default); affects scheduling only, never results")
+	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = adaptive, negative = fixed default); affects scheduling only, never results")
+	budget := fs.Int("cpubudget", 0, "cap on concurrent simulation goroutines shared by -par workers and the -intra engine (0 = GOMAXPROCS); affects scheduling only, never results")
 	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -119,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		return runAblation(stdout, cfg, *cycles, *par, *replay,
+		return runAblation(stdout, cfg, *cycles, *par, *budget, *replay,
 			cmp.Engine{Intra: *intra, EpochCycles: *epoch})
 	}
 
@@ -152,8 +153,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			BaseCfg: cfg, CoreCounts: coreCounts, RunCycles: *cycles,
 			Parallelism: *par, Classes: cls, Schemes: sch,
 			Checkpoint: *out, Progress: progress, Replicates: *reps,
-			NoReplay: !*replay,
-			Engine:   cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+			NoReplay:  !*replay,
+			Engine:    cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+			CPUBudget: *budget,
 		}, *csvDir)
 	}
 
@@ -167,8 +169,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	ev, err := experiments.Evaluate(experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
 		Schemes: sch, Checkpoint: *out, Progress: progress, Replicates: *reps,
-		NoReplay: !*replay,
-		Engine:   cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+		NoReplay:  !*replay,
+		Engine:    cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+		CPUBudget: *budget,
 	})
 	if err != nil {
 		return err
@@ -250,7 +253,7 @@ func writeCSV(path string, write func(io.Writer) error) error {
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(stdout io.Writer, base config.System, cycles int64, par int, replay bool, eng cmp.Engine) error {
+func runAblation(stdout io.Writer, base config.System, cycles int64, par, budget int, replay bool, eng cmp.Engine) error {
 	// The quad-core A+A+D+D mix, replicated to the configured width the
 	// same way workloads.ScaleOut widens Table 8.
 	var bench []string
@@ -305,7 +308,7 @@ func runAblation(stdout io.Writer, base config.System, cycles int64, par int, re
 	for _, v := range variants {
 		jobs = append(jobs, job(v.name, "SNUG", v.mut))
 	}
-	results, err := sweep.Run(sweep.Options{Parallelism: par, BaseSeed: base.Seed}, jobs)
+	results, err := sweep.Run(sweep.Options{Parallelism: par, CPUBudget: budget, BaseSeed: base.Seed}, jobs)
 	if err != nil {
 		return err
 	}

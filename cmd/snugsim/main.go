@@ -68,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	scale := fs.Bool("testscale", true, "use the scaled test system (64-set slices); false = full Table 4 system")
 	replay := fs.Bool("replay", true, "record the workload's instruction streams once and replay them to every compared scheme (bit-identical results); false regenerates streams live per run")
 	intra := fs.Bool("intra", false, "run each simulation on the intra-run epoch engine: one goroutine per simulated core, bit-identical results (see DESIGN.md)")
-	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = default); affects scheduling only, never results")
+	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = adaptive, negative = fixed default); affects scheduling only, never results")
+	budget := fs.Int("cpubudget", 0, "cap on concurrent simulation goroutines shared by -par workers and the -intra engine (0 = GOMAXPROCS); affects scheduling only, never results")
 	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
 	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -164,7 +165,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			},
 		})
 	}
-	results, err := sweep.Run(sweep.Options{Parallelism: *par, BaseSeed: cfg.Seed, Replicates: *reps}, jobs)
+	results, err := sweep.Run(sweep.Options{
+		Parallelism: *par, CPUBudget: *budget, BaseSeed: cfg.Seed, Replicates: *reps,
+	}, jobs)
 	if err != nil {
 		return err
 	}

@@ -231,10 +231,18 @@ func Figure9Throughput(b *testing.B) { FigureMetric(b, metrics.MetricThroughput)
 // them only when the baseline was recorded at the host's GOMAXPROCS, since
 // comparing a 2-thread run against an 8-thread baseline measures the
 // runner, not the code.
+//
+// GateAllocs marks benchmarks whose allocs/op cmd/bench -check gates
+// against the baseline (lower is better): allocation counts are stable
+// across runs, so a regression there is code, not runner noise.
+// Figure9Throughput carries the mark because the full-evaluation path's
+// allocation behaviour (trace chunk pooling, stream-cache recycling) is a
+// tracked optimization target.
 var ByName = []struct {
 	Name           string
 	Fn             func(*testing.B)
 	ShapeSensitive bool
+	GateAllocs     bool
 }{
 	{Name: "SimulatorSpeed", Fn: SimulatorSpeed},
 	{Name: "SimulatorSpeedLive", Fn: SimulatorSpeedLive},
@@ -243,5 +251,5 @@ var ByName = []struct {
 	{Name: "CacheOps", Fn: CacheOps},
 	{Name: "BusContention", Fn: BusContention},
 	{Name: "SchemeSNUG", Fn: SchemeSNUG},
-	{Name: "Figure9Throughput", Fn: Figure9Throughput},
+	{Name: "Figure9Throughput", Fn: Figure9Throughput, GateAllocs: true},
 }

@@ -176,17 +176,14 @@ type Engine struct {
 	// results are identical either way.
 	Intra bool
 	// EpochCycles bounds how far a core may run ahead of the coordinator,
-	// in cycles; it is rounded down to whole quanta with a floor of one
-	// quantum. 0 picks the default of eight quanta. The value changes
-	// scheduling and memory footprint only, never results.
+	// in cycles; positive values are rounded down to whole quanta with a
+	// floor of one quantum. 0 selects the adaptive window (the coordinator
+	// widens it while the park rate is low and narrows it when parks flood
+	// the rings); negative values pin the fixed default of eight quanta.
+	// The value changes scheduling and memory footprint only, never
+	// results.
 	EpochCycles int64
 }
-
-// defaultEpochQuanta is the run-ahead window the epoch engine uses when
-// Engine.EpochCycles is 0: deep enough that a miss-free core keeps its
-// goroutine busy while the coordinator drains other cores, shallow enough
-// that parked-work queues stay a few cache lines per core.
-const defaultEpochQuanta = 8
 
 // RunEngine advances the system by cycles under the selected engine and
 // returns the cumulative result. RunEngine(c, Engine{}) == Run(c).

@@ -1,6 +1,6 @@
-// The epoch/barrier intra-run execution engine: one goroutine per
-// simulated core plus a coordinator, producing results byte-identical to
-// the serial engine at every host parallelism.
+// The epoch/barrier intra-run execution engine: core goroutines plus a
+// coordinator, producing results byte-identical to the serial engine at
+// every host parallelism.
 //
 // # Why this parallelizes
 //
@@ -12,60 +12,104 @@
 // simulated. All cross-core state (L2 slices, the snoop bus, write
 // buffers, DRAM, scheme metadata) is mutated exclusively through
 // schemes.Controller calls. The engine therefore lets every core run
-// freely through its L1-hit stretches on its own goroutine and funnels the
-// controller calls — the only order-sensitive work — through a single
+// freely through its L1-hit stretches on a worker goroutine and funnels
+// the controller calls — the only order-sensitive work — through a single
 // coordinator goroutine that replays them in exactly the serial engine's
 // order.
 //
-// # The park/drain protocol
+// # The park/drain protocol (ring coordinator)
 //
 // The serial engine's arbitration order within one quantum is core-major:
 // all of core 0's controller calls, then all of core 1's, ..., then
-// Controller.Tick at the boundary. The epoch engine reproduces it with a
-// per-core message channel:
+// Controller.Tick at the boundary. The epoch engine reproduces it over a
+// pair of cache-line-padded single-producer/single-consumer ring buffers
+// per core (PR 7 used a channel pair; the rings make the common case
+// wait-free):
 //
-//   - a core goroutine that misses in its L1 *parks*: it pushes an access
+//   - a core goroutine that misses in its L1 *parks*: it writes an access
 //     message (timestamp, address, write flag, and the L1 victim
-//     writeback, if any) and blocks until the coordinator replies with the
-//     data-available cycle;
-//   - at each quantum boundary it pushes a boundary token and immediately
-//     continues into the next quantum — the run-ahead that overlaps its
-//     compute with other cores' draining;
-//   - the coordinator drains core 0's channel up to its boundary token,
+//     writeback, if any) into its message ring. A store's completion time
+//     feeds nothing but its LSQ slot (cpu.DeferredDone), so a store park
+//     is a plain ring write — no publication, no blocking — and the core
+//     runs straight ahead. A load park publishes the ring (one atomic
+//     store, carrying every store park batched behind it) and consumes its
+//     reply, spinning briefly and then parking on a wake channel if the
+//     coordinator has not produced it yet;
+//   - at each quantum boundary it pushes a boundary token, publishes, and
+//     runs into the next quantum as long as it is within the epoch window;
+//   - the coordinator drains core 0's ring up to its boundary token,
 //     calling Controller.Access / WritebackL1 with the parked arguments —
-//     the same calls, same arguments, same order as the serial loop — then
-//     core 1's, and so on, then calls Tick and starts the next quantum.
+//     the same calls, same arguments, same order as the serial loop — and
+//     writes completion times into core 0's reply ring, publishing the
+//     whole batch in one atomic store at the next load reply, boundary, or
+//     before blocking; then core 1's, and so on, then calls Tick and
+//     starts the next quantum.
 //
 // Each parked access carries at most one L1 writeback because the L1
 // insert that evicts the victim happens at the same miss that parks; the
 // coordinator applies Access before WritebackL1, matching corePath.access.
 //
-// The channel capacity is the epoch: a core can buffer at most
-// epochQuanta boundary tokens before its next push blocks, so no core
-// runs more than the epoch window ahead of the coordinator. The window
-// bounds memory and skew only — results are identical for every window
-// ≥ 1 quantum, which the differential tests pin down to the degenerate
-// Engine{EpochCycles: 1} case.
+// # Deferred store replies
+//
+// The serial core model consumes a store's completion time only when the
+// LSQ fills (cpu.Core.reserveLSQ): commit posts through the store buffer
+// regardless. The epoch worker exploits that: store misses return
+// cpu.DeferredDone and the worker keeps running through the following
+// L1-hit stretch — and through further store misses — without a
+// handshake. The replies are consumed lazily, in park order, when the
+// core's LSQ actually reads them (cpu.DrainFunc) or when a later load
+// reply needs to get past them. Byte-identity is untouched: the
+// controller-call order is unchanged, and the deferred values reach the
+// LSQ before any pass reads LSQ values, so every timing decision sees the
+// exact numbers the serial engine had in hand (see DESIGN.md §"Intra-run
+// parallelism" for the extended induction).
+//
+// # The window
+//
+// The epoch window bounds how many quanta a core may run ahead of the
+// coordinator. It bounds memory and skew only — results are identical for
+// every window ≥ 1 quantum, which the differential tests pin down to the
+// degenerate Engine{EpochCycles: 1} case. Engine.EpochCycles == 0 selects
+// the adaptive window: the coordinator widens the window while the park
+// rate is low (misses rarely synchronize, so deeper run-ahead is free)
+// and narrows it when parks flood the rings, adjusting only *when*
+// workers block at boundaries — drain order, and therefore every result
+// byte, is unchanged by construction.
+//
+// # CPU budget and worker groups
+//
+// The engine draws its goroutines from the process-wide
+// internal/cpubudget token pool, so intra-run parallelism composes with
+// sweep-level parallelism instead of multiplying it. It asks for one
+// token per core, maps the cores onto as many worker goroutines as it was
+// granted (each group steps its cores in index order, exactly the serial
+// engine's schedule within the group), and falls back to the serial
+// engine when fewer than two tokens are free — results are identical in
+// every case, so the budget trades wall-clock shape only.
 //
 // # Why results are byte-identical
 //
 // By induction over the global controller-call sequence: the k-th call the
 // coordinator issues has the same arguments as the serial engine's k-th
 // call, because the issuing core computed them from its stream prefix and
-// the replies to its own earlier calls — both equal by induction — and the
-// controller, serving the same calls in the same order from the same
-// initial state, returns the same reply. Core-local state (cpu.Core, L1,
-// stream cursors) evolves identically for the same reason. The golden
-// digest and the randomized differential suite verify this end to end
-// under -race.
+// the replies to its own earlier calls — both equal by induction (deferred
+// store replies are consumed before any LSQ read, so LSQ-driven stalls use
+// the same values) — and the controller, serving the same calls in the
+// same order from the same initial state, returns the same reply.
+// Core-local state (cpu.Core, L1, stream cursors) evolves identically for
+// the same reason. The golden digest and the randomized differential suite
+// verify this end to end under -race.
 package cmp
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"snug/internal/addr"
 	"snug/internal/cache"
 	"snug/internal/cpu"
+	"snug/internal/cpubudget"
 	"snug/internal/isa"
 )
 
@@ -82,26 +126,157 @@ type coreMsg struct {
 	boundary bool // quantum-boundary token: no controller work, ends the core's drain
 }
 
-// epochWorker is one core goroutine's side of the protocol. It owns the
-// core's private state (cpu.Core, L1, stream) for the duration of a run;
-// the reply channel gives each park its happens-before edge back from the
-// coordinator.
+// msgRing is the worker→coordinator SPSC queue of parked work. The worker
+// writes slots and publishes batches by storing tail; the coordinator
+// consumes slots and frees them by storing head. The padding keeps the two
+// cursors (and the worker-hot buf/mask words) on separate cache lines so
+// publication never false-shares with consumption.
+type msgRing struct {
+	buf  []coreMsg
+	mask uint64
+	_    [32]byte
+	tail atomic.Uint64 // published messages; worker-owned stores
+	_    [56]byte
+	head atomic.Uint64 // consumed messages; coordinator-owned stores
+	_    [56]byte
+}
+
+// replyRing is the coordinator→worker SPSC queue of completion times,
+// same discipline with the roles swapped.
+type replyRing struct {
+	buf  []int64
+	mask uint64
+	_    [32]byte
+	tail atomic.Uint64 // published replies; coordinator-owned stores
+	_    [56]byte
+	head atomic.Uint64 // consumed replies; worker-owned stores
+	_    [56]byte
+}
+
+// epochWorker is one core's side of the protocol. It owns the core's
+// private state (cpu.Core, L1, stream) for the duration of a run. Fields
+// are segregated by owning goroutine; only the rings, the sleep flag and
+// quantaDone cross between them, all via atomics.
 type epochWorker struct {
 	core   *cpu.Core
 	stream isa.Stream
 	path   *corePath
 	mem    cpu.MemFunc
-	req    chan coreMsg
-	reply  chan int64
+	eng    *epochEngine
+
+	msgs    msgRing
+	replies replyRing
+
+	// Worker-goroutine-owned bookkeeping.
+	msgTail    uint64  // messages written (≥ the published msgs.tail)
+	msgPub     uint64  // published prefix, mirrors msgs.tail to skip dead stores
+	repHead    uint64  // replies consumed, mirrors replies.head
+	owed       int     // deferred-store replies not yet consumed from the ring
+	stash      []int64 // consumed-but-undrained store completion times (FIFO)
+	stashMask  uint64
+	stashH     uint64
+	stashT     uint64
+	boundaries int64 // quanta this worker has finished
+
+	// Coordinator-goroutine-owned bookkeeping.
+	coordHead uint64 // messages consumed, mirrors msgs.head
+	repTail   uint64 // replies written (≥ the published replies.tail)
+	repPub    uint64 // published prefix, mirrors replies.tail
+
+	// Park/wake for the worker side: the worker publishes sleeping=1
+	// before blocking and rechecks its condition; the coordinator clears
+	// the flag and signals after every action that could unblock it.
+	sleeping atomic.Uint32
+	wake     chan struct{}
+
+	// quantaDone counts this worker's boundary tokens the coordinator has
+	// consumed; the worker reads it for the run-ahead window check.
+	quantaDone atomic.Int64
+}
+
+// epochGroup is the set of cores one goroutine steps. Within a group the
+// cores advance in index order quantum by quantum — the serial engine's
+// schedule — so any grant from one goroutine for all cores (the budget
+// floor) up to one goroutine per core (the full-parallel shape) drains in
+// the identical order.
+type epochGroup struct {
+	workers []*epochWorker
+}
+
+// epochEngine is the shared run state: the worker set, the adaptive
+// window, and the coordinator's park/wake pair.
+type epochEngine struct {
+	workers []*epochWorker
+	depth   atomic.Int64 // current run-ahead window, in quanta
+	spin    int          // consume-side spin budget before parking
+
+	sleeping atomic.Uint32 // coordinator parked; workers clear and signal
+	wake     chan struct{}
+}
+
+const (
+	// defaultEpochQuanta is the fixed window for Engine.EpochCycles < 0 and
+	// the adaptive window's starting point: deep enough that a miss-free
+	// core keeps its goroutine busy while the coordinator drains other
+	// cores, shallow enough that parked-work queues stay a few cache lines
+	// per core.
+	defaultEpochQuanta = 8
+	// maxAutoQuanta bounds the adaptive window; maxFixedQuanta bounds an
+	// explicit Engine.EpochCycles so ring memory stays proportional to the
+	// window a core can actually exploit. Both bound memory and skew only,
+	// never results.
+	maxAutoQuanta  = 64
+	maxFixedQuanta = 1024
+	// adaptPeriod is how many quanta the adaptive window observes between
+	// adjustments; its inputs (park counts) are deterministic, so the
+	// window trajectory is too.
+	adaptPeriod = 16
+	// spinYieldEvery interleaves runtime.Gosched into consume-side spins so
+	// a spinning goroutine cannot starve the one it waits on.
+	spinYieldEvery = 64
+)
+
+// spinIters picks the consume-side spin budget: with real parallelism a
+// short spin beats a park/unpark round trip; at GOMAXPROCS=1 spinning can
+// only delay the goroutine that would produce the awaited value, so park
+// immediately (the channel handoff is the scheduler's cheapest switch).
+func spinIters() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 256
+	}
+	return 0
+}
+
+// nextPow2 returns the smallest power of two ≥ n (rings index with masks).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// signal wakes the goroutine parked behind the sleeping/wake pair, if any.
+// The CAS guarantees at most one token per park; the non-blocking send
+// makes a racing stale token harmless (the parked side always rechecks its
+// condition after waking).
+func signal(sleeping *atomic.Uint32, wake chan struct{}) {
+	if sleeping.Load() != 0 && sleeping.CompareAndSwap(1, 0) {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // access is the epoch engine's cpu.MemFunc: the core-goroutine half of the
-// park/drain handshake. L1 hits complete locally; misses perform the L1
+// park/drain protocol. L1 hits complete locally; misses perform the L1
 // insert (private state, invisible to the controller) to discover the
-// victim, park the access+writeback at the coordinator and block for the
-// completion time. It must never touch the controller or anything behind
-// it — that is the coordinator's, and snuglint's coordinator analyzer
-// checks it stays that way.
+// victim and park the access+writeback at the coordinator. Store misses
+// run ahead with a deferred reply; load misses publish the batch and block
+// for their completion time. It must never touch the controller or
+// anything behind it — that is the coordinator's, and snuglint's
+// coordinator analyzer checks it stays that way.
 //
 //snug:coreside
 //snug:hotpath
@@ -121,90 +296,444 @@ func (w *epochWorker) access(now int64, a addr.Addr, write bool) int64 {
 		m.hasWB = true
 		m.wb = p.geom.Rebuild(v.Tag, p.geom.Index(pa))
 	}
-	w.req <- m
-	return <-w.reply
+	if write {
+		// A store's completion time feeds only its LSQ slot: park without
+		// publishing and run ahead. The reply is consumed lazily, in park
+		// order, by drainDeferred or by a later load getting past it.
+		w.pushMsg(&m, false)
+		w.owed++
+		return cpu.DeferredDone
+	}
+	// A load's completion time is needed now, and its reply sits behind
+	// every still-unconsumed store reply in the FIFO: stash those for the
+	// LSQ drain, then take ours.
+	w.pushMsg(&m, true)
+	for w.owed > 0 {
+		w.stashPush(w.popReply()) //snug:allow gcbounds inlined stash slot index is masked to the power-of-two capacity
+		w.owed--
+	}
+	return w.popReply()
 }
 
-// runQuanta advances the worker's core through every quantum boundary in
-// [start, end), pushing a boundary token after each one. The token send
-// doubles as the epoch barrier: once the channel holds a full epoch of
-// tokens the send blocks until the coordinator catches up.
+// pushMsg appends one park to the message ring, blocking (rare: the ring
+// out-sizes the window plus the LSQ) when the coordinator has fallen a
+// full ring behind. publish=false leaves the message unpublished so a
+// store burst rides out on the next load, boundary, or pre-block flush in
+// a single atomic store.
 //
 //snug:coreside
-func (w *epochWorker) runQuanta(start, end, quantum int64) {
+//snug:hotpath
+func (w *epochWorker) pushMsg(m *coreMsg, publish bool) {
+	r := &w.msgs
+	if w.msgTail-r.head.Load() == uint64(len(r.buf)) {
+		w.flushMsgs()
+		w.awaitMsgSpace()
+	}
+	r.buf[w.msgTail&r.mask] = *m //snug:allow gcbounds ring slot index is masked to the power-of-two capacity
+	w.msgTail++
+	if publish {
+		w.flushMsgs()
+	}
+}
+
+// flushMsgs publishes every written-but-unpublished message in one atomic
+// store and pokes the coordinator if it is parked.
+//
+//snug:coreside
+//snug:hotpath
+func (w *epochWorker) flushMsgs() {
+	if w.msgPub != w.msgTail {
+		w.msgPub = w.msgTail
+		w.msgs.tail.Store(w.msgTail)
+		signal(&w.eng.sleeping, w.eng.wake)
+	}
+}
+
+// popReply consumes the next completion time from the reply ring,
+// publishing any pending parks first (the coordinator cannot produce the
+// reply without seeing the park) and spin-then-parking until it is
+// published.
+//
+//snug:coreside
+//snug:hotpath
+func (w *epochWorker) popReply() int64 {
+	r := &w.replies
+	h := w.repHead
+	if r.tail.Load() == h {
+		w.flushMsgs()
+		w.awaitReply(h)
+	}
+	v := r.buf[h&r.mask] //snug:allow gcbounds ring slot index is masked to the power-of-two capacity
+	w.repHead = h + 1
+	r.head.Store(w.repHead)
+	return v
+}
+
+// awaitReply blocks the worker until the coordinator publishes reply h.
+//
+//snug:coreside
+func (w *epochWorker) awaitReply(h uint64) {
+	r := &w.replies
+	for i := 0; i < w.eng.spin; i++ {
+		if r.tail.Load() != h {
+			return
+		}
+		if i%spinYieldEvery == spinYieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	for r.tail.Load() == h {
+		w.sleeping.Store(1)
+		if r.tail.Load() != h {
+			w.sleeping.Store(0)
+			return
+		}
+		<-w.wake
+	}
+}
+
+// awaitMsgSpace blocks the worker until the coordinator frees a message
+// slot.
+//
+//snug:coreside
+func (w *epochWorker) awaitMsgSpace() {
+	r := &w.msgs
+	full := uint64(len(r.buf))
+	for i := 0; i < w.eng.spin; i++ {
+		if w.msgTail-r.head.Load() < full {
+			return
+		}
+		if i%spinYieldEvery == spinYieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	for w.msgTail-r.head.Load() == full {
+		w.sleeping.Store(1)
+		if w.msgTail-r.head.Load() < full {
+			w.sleeping.Store(0)
+			return
+		}
+		<-w.wake
+	}
+}
+
+// awaitWindow blocks the worker while it is a full epoch window ahead of
+// the coordinator. Both operands are reloaded on every check: the
+// coordinator advances quantaDone as it consumes boundary tokens, and the
+// adaptive window may widen mid-wait.
+//
+//snug:coreside
+func (w *epochWorker) awaitWindow() {
+	b := w.boundaries
+	e := w.eng
+	for i := 0; i < e.spin; i++ {
+		if b-w.quantaDone.Load() < e.depth.Load() {
+			return
+		}
+		if i%spinYieldEvery == spinYieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	for b-w.quantaDone.Load() >= e.depth.Load() {
+		w.sleeping.Store(1)
+		if b-w.quantaDone.Load() < e.depth.Load() {
+			w.sleeping.Store(0)
+			return
+		}
+		<-w.wake
+	}
+}
+
+// stashPush holds a consumed-but-undrained store completion time. The
+// stash cannot overflow: stashed plus still-owed replies equal the LSQ's
+// deferred sentinels, which the core caps at its LSQ size.
+//
+//snug:coreside
+func (w *epochWorker) stashPush(v int64) {
+	w.stash[w.stashT&w.stashMask] = v
+	w.stashT++
+}
+
+// drainDeferred is the worker's cpu.DrainFunc: it delivers the oldest
+// len(dst) deferred-store completion times in park order — stashed values
+// first, then straight off the reply ring.
+//
+//snug:coreside
+func (w *epochWorker) drainDeferred(dst []int64) {
+	for i := range dst {
+		if w.stashH != w.stashT {
+			dst[i] = w.stash[w.stashH&w.stashMask]
+			w.stashH++
+			continue
+		}
+		dst[i] = w.popReply()
+		w.owed--
+	}
+}
+
+// finishQuantum publishes the boundary token and holds the worker inside
+// the epoch window.
+//
+//snug:coreside
+func (w *epochWorker) finishQuantum() {
+	m := coreMsg{boundary: true}
+	w.pushMsg(&m, true)
+	w.boundaries++
+	w.awaitWindow()
+}
+
+// run advances the group's cores through every quantum in [start, end),
+// each quantum stepping the cores in index order — the serial schedule —
+// and resolves any still-deferred store replies before the goroutine
+// exits, so no sentinel outlives the run.
+//
+//snug:coreside
+func (g *epochGroup) run(start, end, quantum int64) {
 	for clock := start; clock < end; {
 		boundary := clock + quantum
 		if boundary > end {
 			boundary = end
 		}
-		w.core.Run(boundary, w.stream, w.mem)
-		w.req <- coreMsg{boundary: true}
+		for _, w := range g.workers {
+			w.core.Run(boundary, w.stream, w.mem)
+			w.finishQuantum()
+		}
 		clock = boundary
 	}
+	for _, w := range g.workers {
+		w.core.ResolveDeferred()
+	}
+}
+
+// popMsg consumes the next parked message from w, publishing any batched
+// replies first (a worker blocked in an LSQ drain may be waiting on them)
+// and spin-then-parking until the worker publishes.
+//
+//snug:coordinator
+func (e *epochEngine) popMsg(w *epochWorker) coreMsg {
+	r := &w.msgs
+	h := w.coordHead
+	if r.tail.Load() == h {
+		e.flushReplies(w)
+		e.awaitMsg(w, h)
+	}
+	m := r.buf[h&r.mask]
+	w.coordHead = h + 1
+	r.head.Store(w.coordHead)
+	signal(&w.sleeping, w.wake) // freed a slot: a worker parked on a full ring resumes
+	return m
+}
+
+// awaitMsg blocks the coordinator until worker w publishes message h.
+//
+//snug:coordinator
+func (e *epochEngine) awaitMsg(w *epochWorker, h uint64) {
+	r := &w.msgs
+	for i := 0; i < e.spin; i++ {
+		if r.tail.Load() != h {
+			return
+		}
+		if i%spinYieldEvery == spinYieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	for r.tail.Load() == h {
+		e.sleeping.Store(1)
+		if r.tail.Load() != h {
+			e.sleeping.Store(0)
+			return
+		}
+		<-e.wake
+	}
+}
+
+// pushReply appends one completion time to w's reply ring. publish=false
+// batches it behind the next load reply, boundary, or pre-block flush.
+// The ring out-sizes the worst-case outstanding replies (LSQ size + 1),
+// so a full ring is a protocol bug, not a wait state.
+//
+//snug:coordinator
+func (e *epochEngine) pushReply(w *epochWorker, v int64, publish bool) {
+	r := &w.replies
+	if w.repTail-r.head.Load() == uint64(len(r.buf)) {
+		panic("cmp: epoch reply ring overflow (deferred replies exceed LSQ bound)")
+	}
+	r.buf[w.repTail&r.mask] = v
+	w.repTail++
+	if publish {
+		e.flushReplies(w)
+	}
+}
+
+// flushReplies publishes every written-but-unpublished reply for w in one
+// atomic store and pokes the worker if it is parked.
+//
+//snug:coordinator
+func (e *epochEngine) flushReplies(w *epochWorker) {
+	if w.repPub != w.repTail {
+		w.repPub = w.repTail
+		w.replies.tail.Store(w.repTail)
+		signal(&w.sleeping, w.wake)
+	}
+}
+
+// adaptDepth is the adaptive window policy, applied every adaptPeriod
+// quanta: fewer than one park per core per period means cores are running
+// hit-dominated stretches and deeper run-ahead is free; more than one park
+// per core per quantum means run-ahead only piles parks into the rings, so
+// back toward lock-step. Inputs are park counts — deterministic — so the
+// window trajectory is reproducible, and the window never changes results
+// regardless (only when boundary pushes block).
+func adaptDepth(depth, parks, cores int64) int64 {
+	switch {
+	case parks < cores:
+		if depth*2 <= maxAutoQuanta {
+			return depth * 2
+		}
+	case parks > cores*adaptPeriod:
+		if depth > 1 {
+			return depth / 2
+		}
+	}
+	return depth
 }
 
 // runEpoch is the coordinator: it drives the same quantum loop as the
 // serial Run, but instead of stepping cores inline it drains their parked
-// controller work, core-major per quantum, and ticks the controller at
+// controller work, core-major per quantum, and Ticks the controller at
 // each boundary. All shared below-L1 state is touched only here.
 //
-// epochCycles ≤ 0 selects the default window; any positive value is
-// rounded down to whole quanta with a floor of one.
+// epochCycles == 0 selects the adaptive window, < 0 the fixed default;
+// any positive value is rounded down to whole quanta with a floor of one.
+// The engine draws worker-goroutine tokens from internal/cpubudget and
+// falls back to the serial engine when fewer than two are free.
 //
 //snug:coordinator
 func (s *System) runEpoch(cycles, epochCycles int64) RunResult {
 	q := s.cfg.Quantum
-	depth := epochCycles / q
-	if epochCycles <= 0 {
-		depth = defaultEpochQuanta
+	auto := epochCycles == 0
+	var depth, maxDepth int64
+	switch {
+	case auto:
+		depth, maxDepth = defaultEpochQuanta, maxAutoQuanta
+	case epochCycles < 0:
+		depth, maxDepth = defaultEpochQuanta, defaultEpochQuanta
+	default:
+		depth = epochCycles / q
+		if depth < 1 {
+			depth = 1
+		}
+		if depth > maxFixedQuanta {
+			depth = maxFixedQuanta
+		}
+		maxDepth = depth
 	}
-	if depth < 1 {
-		depth = 1
-	}
-	start := s.clock
-	end := start + cycles
 
-	workers := make([]*epochWorker, len(s.cores))
-	var wg sync.WaitGroup
-	for i := range workers {
+	// One token per core, coordinator riding the caller's share (a sweep
+	// worker's job token, or the process main goroutine). With fewer than
+	// two grants the "parallel" engine could only serialize through extra
+	// goroutines — run the serial engine, which is byte-identical.
+	granted := cpubudget.TryAcquire(len(s.cores))
+	if granted < 2 {
+		cpubudget.Release(granted)
+		return s.Run(cycles)
+	}
+	defer cpubudget.Release(granted)
+
+	lsq := s.cfg.Core.LSQSize
+	// The message ring holds at most: one boundary token per window
+	// quantum, plus the unconsumed parks of the run-ahead stretch — the
+	// LSQ-bounded deferred stores and one blocking load — plus slack.
+	msgCap := nextPow2(int(maxDepth) + lsq + 2)
+	// Outstanding replies are bounded by the same LSQ argument.
+	repCap := nextPow2(lsq + 2)
+	stashCap := nextPow2(lsq + 1)
+
+	e := &epochEngine{
+		workers: make([]*epochWorker, len(s.cores)),
+		spin:    spinIters(),
+		wake:    make(chan struct{}, 1),
+	}
+	e.depth.Store(depth)
+	for i := range e.workers {
 		w := &epochWorker{
 			core:   s.cores[i],
 			stream: s.streams[i],
 			path:   &s.paths[i],
-			// depth boundary tokens plus the in-flight access a worker may
-			// park before its next token: the buffer is the epoch window.
-			req:   make(chan coreMsg, depth+1),
-			reply: make(chan int64, 1),
+			eng:    e,
+			wake:   make(chan struct{}, 1),
 		}
+		w.msgs.buf = make([]coreMsg, msgCap)
+		w.msgs.mask = uint64(msgCap - 1)
+		w.replies.buf = make([]int64, repCap)
+		w.replies.mask = uint64(repCap - 1)
+		w.stash = make([]int64, stashCap)
+		w.stashMask = uint64(stashCap - 1)
 		w.mem = w.access
-		workers[i] = w
-		wg.Add(1)
-		go func(w *epochWorker) {
-			defer wg.Done()
-			w.runQuanta(start, end, q)
-		}(w)
+		w.core.SetDrain(w.drainDeferred)
+		e.workers[i] = w
 	}
 
+	start := s.clock
+	end := start + cycles
+
+	// Split the cores into one contiguous group per granted token.
+	groups := make([]epochGroup, granted)
+	per, extra := len(e.workers)/granted, len(e.workers)%granted
+	lo := 0
+	for gi := range groups {
+		n := per
+		if gi < extra {
+			n++
+		}
+		groups[gi].workers = e.workers[lo : lo+n]
+		lo += n
+	}
+
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(g *epochGroup) {
+			defer wg.Done()
+			g.run(start, end, q)
+		}(&groups[gi])
+	}
+
+	var parks, quanta int64
 	for s.clock < end {
 		boundary := s.clock + q
 		if boundary > end {
 			boundary = end
 		}
-		for i, w := range workers {
+		for i, w := range e.workers {
 			for {
-				m := <-w.req
+				m := e.popMsg(w)
 				if m.boundary {
+					w.quantaDone.Add(1)
+					signal(&w.sleeping, w.wake) // window slack opened
 					break
 				}
 				done := s.ctrl.Access(i, m.accessAt, m.a, m.write)
 				if m.hasWB {
 					s.ctrl.WritebackL1(i, m.wbAt, m.wb)
 				}
-				w.reply <- done
+				// Load replies publish the batch immediately — the worker
+				// is blocked on this one; store replies ride along.
+				e.pushReply(w, done, !m.write)
+				parks++
 			}
+			e.flushReplies(w)
 		}
 		s.ctrl.Tick(boundary)
 		s.clock = boundary
+		if auto {
+			quanta++
+			if quanta == adaptPeriod {
+				d := adaptDepth(e.depth.Load(), parks, int64(len(e.workers)))
+				e.depth.Store(d)
+				parks, quanta = 0, 0
+			}
+		}
 	}
 	wg.Wait()
 	return s.result()

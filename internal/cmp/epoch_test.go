@@ -6,10 +6,22 @@ import (
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/cpubudget"
 	"snug/internal/isa"
 	"snug/internal/schemes"
 	"snug/internal/trace"
 )
+
+// forceBudget raises the process CPU budget for one test so the epoch
+// engine gets real worker-goroutine grants even on a single-CPU host
+// (where the GOMAXPROCS default budget is 1 and every epoch run would
+// silently take the serial fallback, testing nothing). Tests in this
+// package never run in parallel, so the grant shapes are deterministic.
+func forceBudget(t *testing.T, n int) {
+	t.Helper()
+	prev := cpubudget.SetLimit(n)
+	t.Cleanup(func() { cpubudget.SetLimit(prev) })
+}
 
 // TestGoldenSNUGDigestEpoch pins the epoch engine to the exact digest of
 // TestGoldenSNUGDigest: the intra-run parallel engine must reproduce the
@@ -17,6 +29,7 @@ import (
 // under -race at GOMAXPROCS 2 and 8.
 func TestGoldenSNUGDigestEpoch(t *testing.T) {
 	const want = "fb8ac38b40b7bdf7"
+	forceBudget(t, 32) // full grant: one goroutine per simulated core
 	cfg := config.TestScale()
 	res, err := cmp.RunWorkloadEngine(cfg, "SNUG", goldenBench, goldenCycles,
 		cmp.Engine{Intra: true})
@@ -33,9 +46,10 @@ func TestGoldenSNUGDigestEpoch(t *testing.T) {
 
 // epochWindows is the run-ahead sweep of the differential suite: the
 // degenerate one-cycle window (floors to one quantum), exactly one quantum,
-// a non-multiple of the quantum (rounds down), a deep window, and 0 (the
-// default). Results must be identical across all of them.
-var epochWindows = []int64{1, 100, 250, 800, 0}
+// a non-multiple of the quantum (rounds down), a deep window, 0 (the
+// adaptive window), and a negative value (the fixed default). Results must
+// be identical across all of them.
+var epochWindows = []int64{1, 100, 250, 800, 0, -1}
 
 // TestEpochSerialDifferential runs randomized configurations — core count,
 // seed, benchmark mix, run length drawn from a fixed-seed generator — under
@@ -44,6 +58,7 @@ var epochWindows = []int64{1, 100, 250, 800, 0}
 // the test that fails if the coordinator's drain order ever deviates from
 // the serial engine's core-major arbitration.
 func TestEpochSerialDifferential(t *testing.T) {
+	forceBudget(t, 16)                           // full grant at every core count in the sweep
 	rng := rand.New(rand.NewSource(0x5eed_e90c)) // fixed: the sweep must be reproducible
 	pool := []string{"ammp", "parser", "swim", "mesa", "mcf", "vortex"}
 	coreChoices := []int{2, 4, 8}
@@ -76,6 +91,51 @@ func TestEpochSerialDifferential(t *testing.T) {
 					scheme, cores, cfg.Seed, cycles, window, got, want)
 			}
 		}
+
+		// Grant shapes: the CPU budget maps the cores onto fewer worker
+		// goroutines (contiguous groups) when the pool is short. Every
+		// group count — including partial grants that fold several cores
+		// onto one goroutine — must reproduce the serial digest too.
+		for _, budget := range []int{2, 3, cores} {
+			cpubudget.SetLimit(budget)
+			par, err := cmp.RunWorkloadEngine(cfg, scheme, benchmarks, cycles,
+				cmp.Engine{Intra: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := goldenDigest(par); got != want {
+				t.Errorf("%s cores=%d seed=%#x cycles=%d budget=%d: digest %s != serial %s",
+					scheme, cores, cfg.Seed, cycles, budget, got, want)
+			}
+		}
+		cpubudget.SetLimit(16)
+	}
+}
+
+// TestEpochRingWraparound pins the ring-index arithmetic across many full
+// wraps of both SPSC rings: a one-quantum window over a multi-thousand-
+// quantum run pushes far more boundary tokens than the message ring holds
+// (capacity ≲ 128 slots at TestScale's 64-entry LSQ), and the miss replies
+// likewise lap the reply ring repeatedly, so any masked-cursor bug — wrong
+// mask, missed publication, head/tail confusion after uint wrap of the
+// buffer — breaks the serial digest.
+func TestEpochRingWraparound(t *testing.T) {
+	forceBudget(t, 16)
+	cfg := config.TestScale()
+	const cycles = 400_000 // 4000 quanta per core
+	serial, err := cmp.RunWorkload(cfg, "SNUG", goldenBench, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int64{1, 0} { // lock-step and adaptive
+		par, err := cmp.RunWorkloadEngine(cfg, "SNUG", goldenBench, cycles,
+			cmp.Engine{Intra: true, EpochCycles: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg, pg := goldenDigest(serial), goldenDigest(par); sg != pg {
+			t.Errorf("epoch=%d: wraparound digest %s != serial %s", window, pg, sg)
+		}
 	}
 }
 
@@ -84,6 +144,7 @@ func TestEpochSerialDifferential(t *testing.T) {
 // core goroutines, so this exercises the recording's thread safety as well
 // as the engine (CI runs it under -race).
 func TestEpochReplayDifferential(t *testing.T) {
+	forceBudget(t, 32)
 	cfg := config.TestScale()
 	const cycles = 150_000
 	streams, err := cmp.WorkloadStreams(cfg, goldenBench, cmp.PhaseRefs(cycles))

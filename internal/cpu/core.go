@@ -23,6 +23,24 @@ import (
 // internal/cmp's epoch engine.
 type MemFunc func(now int64, a addr.Addr, write bool) (doneAt int64)
 
+// DeferredDone is the one MemFunc return value that is not a completion
+// time: a store whose data-available cycle is not yet known. A store's
+// completion time feeds nothing but its LSQ entry — commit posts through
+// the store buffer at start+1 regardless — so a hierarchy that resolves
+// stores asynchronously (the epoch engine parks them at a coordinator and
+// runs ahead) may return DeferredDone and supply the real value later,
+// through the DrainFunc, the first time the core actually reads LSQ
+// values. Loads can never be deferred: their completion time feeds the
+// dependence chain and the commit ring immediately.
+const DeferredDone int64 = math.MinInt64
+
+// DrainFunc delivers the completion times of the oldest len(dst)
+// still-deferred stores, in the order their MemFunc calls returned
+// DeferredDone. It may block (the epoch engine waits for the coordinator
+// to publish the replies). Installed with SetDrain; never called unless a
+// MemFunc returned DeferredDone.
+type DrainFunc func(dst []int64)
+
 // Stats aggregates per-core execution statistics.
 type Stats struct {
 	Instructions int64
@@ -76,6 +94,14 @@ type Core struct {
 	commitCnt  int
 
 	lsq []int64 // outstanding memory-op completion times; compacted lazily
+
+	// Deferred-store bookkeeping: lsqPending counts DeferredDone sentinels
+	// currently in lsq, drain resolves them (fillBuf is its reusable
+	// argument buffer, sized once at SetDrain). Zero/nil on the serial
+	// path, which never defers.
+	lsqPending int
+	drain      DrainFunc
+	fillBuf    []int64
 
 	prevComplete int64
 
@@ -133,6 +159,43 @@ func (c *Core) Stats() Stats {
 
 // Clock returns the core's current cycle.
 func (c *Core) Clock() int64 { return c.clock }
+
+// SetDrain installs the deferred-store resolver. A hierarchy whose MemFunc
+// may return DeferredDone must install one before Run; the serial path
+// never defers and needs none.
+func (c *Core) SetDrain(d DrainFunc) {
+	c.drain = d
+	if c.fillBuf == nil {
+		c.fillBuf = make([]int64, c.lsqSize)
+	}
+}
+
+// ResolveDeferred forces any outstanding DeferredDone LSQ entries to their
+// real completion times. The epoch engine calls it at the end of a run so
+// no sentinel survives into a later run driven without a DrainFunc.
+func (c *Core) ResolveDeferred() {
+	if c.lsqPending > 0 {
+		c.resolveLSQ()
+	}
+}
+
+// resolveLSQ replaces every DeferredDone sentinel in the LSQ with its real
+// completion time. Sentinels sit in lsq in store-program order and the
+// DrainFunc delivers values in that same order, so a single in-order scan
+// rewrites them; compaction preserves relative order, so the invariant
+// survives partial compactions between resolves.
+func (c *Core) resolveLSQ() {
+	buf := c.fillBuf[:c.lsqPending]
+	c.drain(buf)
+	k := 0
+	for i, t := range c.lsq {
+		if t == DeferredDone {
+			c.lsq[i] = buf[k]
+			k++
+		}
+	}
+	c.lsqPending = 0
+}
 
 // Predictor exposes the branch predictor for reporting.
 func (c *Core) Predictor() *Predictor { return c.pred }
@@ -328,6 +391,16 @@ func (c *Core) reserveLSQ(e int64) int64 {
 	if len(c.lsq) < c.lsqSize {
 		return e
 	}
+	// Deferred sentinels must be resolved before any compaction: a
+	// compaction pass reads completion times, and DeferredDone would
+	// compare as long-completed. The resolve may block (it consumes
+	// coordinator replies), but only with the LSQ full of entries whose
+	// true values the serial engine would have had in hand already — the
+	// values it receives are those exact values, so the stall accounting
+	// below is byte-identical to serial.
+	if c.lsqPending > 0 {
+		c.resolveLSQ()
+	}
 	min := c.compactLSQ(e)
 	if len(c.lsq) < c.lsqSize {
 		return e
@@ -361,10 +434,15 @@ func (c *Core) compactLSQ(e int64) int64 {
 	return min
 }
 
-// pushLSQ records an outstanding completion time.
+// pushLSQ records an outstanding completion time (or a DeferredDone
+// sentinel — the one extra compare is a never-taken branch on the serial
+// path).
 //
 //snug:hotpath
 //snug:inline
 func (c *Core) pushLSQ(t int64) {
+	if t == DeferredDone {
+		c.lsqPending++
+	}
 	c.lsq = append(c.lsq, t) //snug:allow hotalloc capacity stabilizes at lsqSize; compactLSQ keeps len below it
 }

@@ -68,6 +68,12 @@ type Options struct {
 	// is excluded from checkpoint fingerprints: stores are interchangeable
 	// across engines.
 	Engine cmp.Engine
+	// CPUBudget has sweep.Options.CPUBudget semantics: cap the process-wide
+	// concurrent simulation goroutines so sweep workers and intra-run epoch
+	// engines compose instead of multiplying (0 keeps the process budget).
+	// Like Engine, it never changes results and is excluded from
+	// fingerprints.
+	CPUBudget int
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
@@ -233,12 +239,13 @@ func comboJobs(jobs []sweep.Job, cache *streamCache, cfg config.System, combo wo
 				if cache == nil {
 					return cmp.RunWorkloadEngine(c, label, combo.Cores, cycles, eng)
 				}
-				streams, err := cache.streams(seed, uses, func() ([]isa.Stream, error) {
+				streams, release, err := cache.streams(seed, uses, func() ([]isa.Stream, error) {
 					return cmp.WorkloadStreams(c, combo.Cores, cmp.PhaseRefs(cycles))
 				})
 				if err != nil {
 					return cmp.RunResult{}, err
 				}
+				defer release()
 				return cmp.RunStreamsEngine(c, label, streams, cycles, eng)
 			},
 		})
@@ -330,6 +337,7 @@ func Evaluate(opt Options) (*Evaluation, error) {
 	}
 	results, err := sweep.Run(sweep.Options{
 		Parallelism:        opt.Parallelism,
+		CPUBudget:          opt.CPUBudget,
 		BaseSeed:           opt.Cfg.Seed,
 		Checkpoint:         opt.Checkpoint,
 		Fingerprint:        fp,

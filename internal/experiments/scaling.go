@@ -39,6 +39,11 @@ type ScalingOptions struct {
 	// Engine has the same semantics as Options.Engine: engine selection
 	// never changes results, so it is excluded from fingerprints.
 	Engine cmp.Engine
+	// CPUBudget has sweep.Options.CPUBudget semantics: it keeps the
+	// study's wide intra-run points (engineFor enables the epoch engine at
+	// 8+ cores) from multiplying goroutines past the host when the sweep
+	// itself is already parallel.
+	CPUBudget int
 }
 
 // ScalingPoint is the evaluation at one core count.
@@ -137,6 +142,7 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 	}
 	results, err := sweep.Run(sweep.Options{
 		Parallelism:        opt.Parallelism,
+		CPUBudget:          opt.CPUBudget,
 		BaseSeed:           opt.BaseCfg.Seed,
 		Checkpoint:         opt.Checkpoint,
 		Fingerprint:        fp,

@@ -35,7 +35,8 @@ type streamCache struct {
 
 type streamCacheEntry struct {
 	recs      []*trace.Recording
-	remaining int
+	remaining int // jobs that have not yet requested cursors
+	live      int // cursor sets handed out and not yet released
 }
 
 func newStreamCache() *streamCache {
@@ -46,14 +47,21 @@ func newStreamCache() *streamCache {
 // seed, recording from freshly built live streams on the cell's first call.
 // uses is the total number of jobs that will request this seed; build must
 // construct the cell's live generator streams.
-func (sc *streamCache) streams(seed uint64, uses int, build func() ([]isa.Stream, error)) ([]isa.Stream, error) {
+//
+// The returned release func MUST be called exactly once, after the caller's
+// run has fully consumed its cursors: when the cell's last outstanding
+// cursor set is released and no further job will request one, the
+// recording's chunk storage is recycled into the shared trace pool, so the
+// next cell records into reused memory instead of allocating hundreds of
+// megabytes of fresh chunks per sweep.
+func (sc *streamCache) streams(seed uint64, uses int, build func() ([]isa.Stream, error)) ([]isa.Stream, func(), error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	e := sc.entries[seed]
 	if e == nil {
 		live, err := build()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e = &streamCacheEntry{recs: trace.RecordAll(live), remaining: uses}
 		sc.entries[seed] = e
@@ -62,5 +70,22 @@ func (sc *streamCache) streams(seed uint64, uses int, build func() ([]isa.Stream
 	if e.remaining <= 0 {
 		delete(sc.entries, seed)
 	}
-	return trace.Replays(e.recs), nil
+	e.live++
+	released := false
+	release := func() {
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		e.live--
+		if e.live == 0 && e.remaining <= 0 {
+			// Partially restored cells (remaining > 0 with no future
+			// requester) are the documented exception: they stay retained
+			// until the sweep ends, bounded by the cell count.
+			trace.RecycleAll(e.recs)
+		}
+	}
+	return trace.Replays(e.recs), release, nil
 }

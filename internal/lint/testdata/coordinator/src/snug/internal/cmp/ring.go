@@ -1,0 +1,93 @@
+package cmp
+
+import "sync/atomic"
+
+// ringEnd is a fixture of the epoch engine's SPSC ring endpoint: one side
+// owns tail (the producer cursor), the other owns head, and each cursor is
+// published with a single atomic store. Publication functions are the ring
+// contract's pressure point — each belongs to exactly one goroutine role,
+// so every one must carry //snug:coordinator or //snug:coreside, never
+// both and never neither-side-but-called-across.
+type ringEnd struct {
+	buf  []int64
+	mask uint64
+	tail atomic.Uint64
+	head atomic.Uint64
+}
+
+// wakeRing is role-free plumbing (the real signal()): callable from either
+// side, so it stays unmarked and the walk passes through it.
+func wakeRing(parked *atomic.Uint32) {
+	if parked.Load() == 1 {
+		parked.CompareAndSwap(1, 0)
+	}
+}
+
+// publishParks is the worker-side batched publication: one atomic store
+// exposes every locally written slot.
+//
+//snug:coreside
+func (r *ringEnd) publishParks(localTail uint64, parked *atomic.Uint32) {
+	r.tail.Store(localTail)
+	wakeRing(parked)
+}
+
+// drainParks is the coordinator-side consumer of the same ring.
+//
+//snug:coordinator
+func (r *ringEnd) drainParks() int64 {
+	h := r.head.Load()
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v
+}
+
+// publishReplies is the coordinator-side batched publication on the reply
+// ring; the worker only ever loads its tail.
+//
+//snug:coordinator
+func (r *ringEnd) publishReplies(localTail uint64, parked *atomic.Uint32) {
+	r.tail.Store(localTail)
+	wakeRing(parked)
+}
+
+// badDrainFromCore consumes the park ring from the worker goroutine: the
+// coordinator owns that cursor.
+//
+//snug:coreside
+func badDrainFromCore(r *ringEnd) int64 {
+	return r.drainParks() // want "core-goroutine path from badDrainFromCore calls coordinator-only drainParks"
+}
+
+// replyHelper is unmarked but transitively coordinator-only.
+func replyHelper(r *ringEnd, t uint64, parked *atomic.Uint32) {
+	r.publishReplies(t, parked) // want "core-goroutine path from badReplyFromCore calls coordinator-only publishReplies"
+}
+
+// badReplyFromCore reaches the coordinator-owned reply publication through
+// an unmarked helper.
+//
+//snug:coreside
+func badReplyFromCore(r *ringEnd, t uint64, parked *atomic.Uint32) {
+	replyHelper(r, t, parked)
+}
+
+// confusedPublish claims both roles for one publication function: an
+// atomic cursor store belongs to exactly one side.
+//
+//snug:coordinator
+//snug:coreside
+func (r *ringEnd) confusedPublish(t uint64) { // want "confusedPublish is marked both"
+	r.tail.Store(t)
+}
+
+// goodWorkerLoop stays on worker-owned state: local cursor arithmetic,
+// its own publication, and the role-free wake helper.
+//
+//snug:coreside
+func goodWorkerLoop(r *ringEnd, parked *atomic.Uint32) {
+	t := r.tail.Load()
+	r.buf[t&r.mask] = 7
+	r.publishParks(t+1, parked)
+	wakeRing(parked)
+}

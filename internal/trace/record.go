@@ -60,8 +60,26 @@ const (
 // length from construction and is only appended to in place, so readers may
 // index any prefix published through used.
 type chunk struct {
-	buf  []byte
-	used atomic.Int64 // published encoded bytes
+	arr  *[chunkBytes]byte // pooled backing storage; nil after Recycle
+	buf  []byte            // arr[:]
+	used atomic.Int64      // published encoded bytes
+}
+
+// chunkPool recycles chunk backing arrays across recordings. A full
+// evaluation sweep records hundreds of megabytes of streams cell by cell,
+// and without reuse every cell's recording re-allocates its chunks from
+// scratch — the dominant allocation cost of the whole evaluation. Pooling
+// is safe because a recording's chunks are referenced only by the
+// recording and its Replay cursors, and Recycle's contract is that both
+// are done.
+var chunkPool = sync.Pool{
+	New: func() any { return new([chunkBytes]byte) },
+}
+
+// newChunk takes a backing array from the pool.
+func newChunk() *chunk {
+	arr := chunkPool.Get().(*[chunkBytes]byte)
+	return &chunk{arr: arr, buf: arr[:]}
 }
 
 // Recording memoizes a source stream's instructions in encoded chunks. Use
@@ -79,6 +97,12 @@ type Recording struct {
 	encTarget  uint64
 	totalBytes int64
 
+	// in is the extension loop's decode target. It lives on the recording
+	// rather than extend's stack because passing its address through the
+	// isa.Stream interface call makes it escape — one heap allocation per
+	// extend call, tens of thousands per evaluation sweep.
+	in isa.Instr
+
 	chunks atomic.Pointer[[]*chunk] // grow-only; replaced wholesale on append
 	filled atomic.Int64             // published instruction count
 }
@@ -87,10 +111,44 @@ type Recording struct {
 // advanced by anyone else afterwards: the recording owns it.
 func NewRecording(src isa.Stream) *Recording {
 	r := &Recording{src: src, name: src.Name()}
-	r.cur = &chunk{buf: make([]byte, chunkBytes)}
+	r.cur = newChunk()
 	chunks := []*chunk{r.cur}
 	r.chunks.Store(&chunks)
 	return r
+}
+
+// Recycle returns the recording's chunk storage to the shared pool and
+// poisons the recording. The caller must guarantee that no Replay cursor
+// over this recording will be used again — recycled buffers are
+// immediately rewritten by other recordings, so a late cursor would decode
+// another stream's bytes. Any attempt to extend or replay after Recycle
+// panics instead of corrupting results.
+func (r *Recording) Recycle() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chunks := r.chunks.Load()
+	if chunks == nil {
+		return // already recycled
+	}
+	for _, c := range *chunks {
+		arr := c.arr
+		c.arr = nil
+		c.buf = nil
+		if arr != nil {
+			chunkPool.Put(arr)
+		}
+	}
+	r.chunks.Store(nil)
+	r.cur = nil
+	r.src = nil
+}
+
+// RecycleAll recycles every recording in recs (the cell-sized convenience
+// mirror of RecordAll/Replays).
+func RecycleAll(recs []*Recording) {
+	for _, r := range recs {
+		r.Recycle()
+	}
 }
 
 // Record eagerly records the next n instructions of src on top of whatever
@@ -119,7 +177,11 @@ func (r *Recording) Bytes() int64 {
 // simulated core needs its own cursor; cursors are not goroutine-safe but
 // distinct cursors over one Recording are.
 func (r *Recording) Replay() *Replay {
-	chunks := *r.chunks.Load()
+	p := r.chunks.Load()
+	if p == nil {
+		panic("trace: Replay cursor opened after Recycle")
+	}
+	chunks := *p
 	return &Replay{rec: r, chunks: chunks, buf: chunks[0].buf}
 }
 
@@ -127,10 +189,12 @@ func (r *Recording) Replay() *Replay {
 func (r *Recording) extend() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var in isa.Instr
+	if r.cur == nil {
+		panic("trace: Recording extended after Recycle")
+	}
 	for i := 0; i < extendBatch; i++ {
-		r.src.Next(&in)
-		r.encode(&in)
+		r.src.Next(&r.in)
+		r.encode(&r.in)
 	}
 	r.cur.used.Store(int64(r.curPos))
 	r.filled.Add(extendBatch)
@@ -141,7 +205,7 @@ func (r *Recording) extend() {
 func (r *Recording) encode(in *isa.Instr) {
 	if r.curPos > chunkBytes-maxInstrBytes {
 		r.cur.used.Store(int64(r.curPos))
-		r.cur = &chunk{buf: make([]byte, chunkBytes)}
+		r.cur = newChunk()
 		r.curPos = 0
 		old := *r.chunks.Load()
 		chunks := make([]*chunk, len(old)+1)
