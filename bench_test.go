@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -176,7 +177,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Run(sweep.Options{}, jobs); err != nil {
+		if _, err := sweep.Run(context.Background(), sweep.Options{}, jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,10 +13,20 @@
 //	experiments -scaling -cores 4,8,16  # per-scheme scaling study
 //	experiments -out sweep.json         # checkpoint completed runs
 //	experiments -out sweep.json -resume # continue an interrupted sweep
+//	experiments -failpolicy continue -retries 3   # run everything, retry failures
+//	experiments -out sweep.json -resume -salvage  # quarantine corrupt checkpoint lines
+//	experiments -inject panic:0.02,err:0.05       # deterministic chaos testing
 //	experiments -ablation               # SNUG design-choice ablations
+//
+// On SIGINT/SIGTERM the sweep stops dispatching, drains and checkpoints
+// in-flight runs, prints a resume hint, and exits 130; a second signal
+// exits immediately. Exit codes: 0 success, 1 error, 3 completed with job
+// failures under -failpolicy continue, 130 interrupted. See DESIGN.md
+// "Failure model".
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,10 +34,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"snug/internal/cli"
 	"snug/internal/cmp"
 	"snug/internal/config"
 	"snug/internal/experiments"
+	"snug/internal/faults"
 	"snug/internal/metrics"
 	"snug/internal/prof"
 	"snug/internal/report"
@@ -47,19 +60,23 @@ var figures = []struct {
 }
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	ctx, stop := cli.SignalContext("experiments", os.Stderr)
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
 	if errors.Is(err, flag.ErrHelp) {
 		return // -h/-help: usage already printed, a successful exit
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 // run executes the command with the given arguments; main is a thin
-// wrapper so tests can drive the full flag-to-output path.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+// wrapper so tests can drive the full flag-to-output path. Canceling ctx
+// (main wires it to SIGINT/SIGTERM) drains and checkpoints in-flight runs
+// before run returns.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cycles := fs.Int64("cycles", 2_000_000, "cycles per simulation")
@@ -79,6 +96,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = adaptive, negative = fixed default); affects scheduling only, never results")
 	budget := fs.Int("cpubudget", 0, "cap on concurrent simulation goroutines shared by -par workers and the -intra engine (0 = GOMAXPROCS); affects scheduling only, never results")
 	fullScale := fs.Bool("fullscale", false, "Table 4 full-size system (slow; default is the scaled test system)")
+	failpolicy := fs.String("failpolicy", "fast", "response to failed runs: \"fast\" stops at the first failure, \"continue\" runs every cell and aggregates failures (exit code 3)")
+	retries := fs.Int("retries", 0, "re-run a failed run up to this many times with the same seed (transient faults only; deterministic failures repeat)")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial delay before a retry, doubling per attempt (capped)")
+	salvage := fs.Bool("salvage", false, "open the -out checkpoint in salvage mode: quarantine corrupt lines to <out>.quarantine and rerun their jobs instead of refusing to resume")
+	syncEvery := fs.Int("sync", 0, "fsync the checkpoint every N completed runs (0 = leave durability to the OS)")
+	inject := fs.String("inject", "", "deterministic fault injection spec, e.g. \"panic:0.02,err:0.05,putfail:0.01\" (chaos testing; results are unaffected)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +131,21 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	policy, err := cli.ParseFailurePolicy(*failpolicy)
+	if err != nil {
+		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d: retry count must be non-negative", *retries)
+	}
+	retry := sweep.RetrySpec{Attempts: *retries, Backoff: *backoff}
+	injectSpec, err := faults.ParseSpec(*inject)
+	if err != nil {
+		return err
+	}
+	if *salvage && *out == "" {
+		return fmt.Errorf("-salvage requires -out")
+	}
 
 	if *ablation {
 		if len(coreCounts) != 1 {
@@ -120,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		return runAblation(stdout, cfg, *cycles, *par, *budget, *replay,
+		return runAblation(ctx, stdout, cfg, *cycles, *par, *budget, *replay,
 			cmp.Engine{Intra: *intra, EpochCycles: *epoch})
 	}
 
@@ -149,14 +187,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 
 	if *scaling {
-		return runScaling(stdout, experiments.ScalingOptions{
+		err := runScaling(ctx, stdout, experiments.ScalingOptions{
 			BaseCfg: cfg, CoreCounts: coreCounts, RunCycles: *cycles,
 			Parallelism: *par, Classes: cls, Schemes: sch,
 			Checkpoint: *out, Progress: progress, Replicates: *reps,
-			NoReplay:  !*replay,
-			Engine:    cmp.Engine{Intra: *intra, EpochCycles: *epoch},
-			CPUBudget: *budget,
+			NoReplay:      !*replay,
+			Engine:        cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+			CPUBudget:     *budget,
+			FailurePolicy: policy, Retry: retry,
+			Salvage: *salvage, Sync: *syncEvery, Faults: injectSpec,
 		}, *csvDir)
+		cli.ResumeHint(err, stderr, "experiments", *out)
+		return cli.WrapCompleted(err, policy == sweep.ContinueOnError)
 	}
 
 	if len(coreCounts) != 1 {
@@ -166,15 +208,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	ev, err := experiments.Evaluate(experiments.Options{
+	ev, err := experiments.Evaluate(ctx, experiments.Options{
 		Cfg: cfg, RunCycles: *cycles, Parallelism: *par, Classes: cls,
 		Schemes: sch, Checkpoint: *out, Progress: progress, Replicates: *reps,
-		NoReplay:  !*replay,
-		Engine:    cmp.Engine{Intra: *intra, EpochCycles: *epoch},
-		CPUBudget: *budget,
+		NoReplay:      !*replay,
+		Engine:        cmp.Engine{Intra: *intra, EpochCycles: *epoch},
+		CPUBudget:     *budget,
+		FailurePolicy: policy, Retry: retry,
+		Salvage: *salvage, Sync: *syncEvery, Faults: injectSpec,
 	})
 	if err != nil {
-		return err
+		cli.ResumeHint(err, stderr, "experiments", *out)
+		return cli.WrapCompleted(err, policy == sweep.ContinueOnError)
 	}
 
 	for _, f := range figures {
@@ -199,8 +244,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 }
 
 // runScaling executes the scaling study and prints one table per metric.
-func runScaling(stdout io.Writer, opt experiments.ScalingOptions, csvDir string) error {
-	res, err := experiments.ScalingStudy(opt)
+func runScaling(ctx context.Context, stdout io.Writer, opt experiments.ScalingOptions, csvDir string) error {
+	res, err := experiments.ScalingStudy(ctx, opt)
 	if err != nil {
 		return err
 	}
@@ -253,7 +298,7 @@ func writeCSV(path string, write func(io.Writer) error) error {
 
 // runAblation compares SNUG variants on the C1 stress tests plus one mixed
 // combo per class — the design choices DESIGN.md calls out.
-func runAblation(stdout io.Writer, base config.System, cycles int64, par, budget int, replay bool, eng cmp.Engine) error {
+func runAblation(ctx context.Context, stdout io.Writer, base config.System, cycles int64, par, budget int, replay bool, eng cmp.Engine) error {
 	// The quad-core A+A+D+D mix, replicated to the configured width the
 	// same way workloads.ScaleOut widens Table 8.
 	var bench []string
@@ -308,7 +353,7 @@ func runAblation(stdout io.Writer, base config.System, cycles int64, par, budget
 	for _, v := range variants {
 		jobs = append(jobs, job(v.name, "SNUG", v.mut))
 	}
-	results, err := sweep.Run(sweep.Options{Parallelism: par, CPUBudget: budget, BaseSeed: base.Seed}, jobs)
+	results, err := sweep.Run(ctx, sweep.Options{Parallelism: par, CPUBudget: budget, BaseSeed: base.Seed}, jobs)
 	if err != nil {
 		return err
 	}

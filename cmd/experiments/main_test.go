@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 // TestRunFiguresSmoke drives the full flag-to-table path on a tiny subset.
 func TestRunFiguresSmoke(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-classes", "C1", "-schemes", "SNUG", "-cycles", "120000", "-quiet",
 	}, &out, io.Discard)
 	if err != nil {
@@ -29,7 +30,7 @@ func TestRunFiguresSmoke(t *testing.T) {
 func TestRunScalingSmoke(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-scaling", "-cores", "4,8", "-classes", "C1", "-schemes", "SNUG",
 		"-cycles", "60000", "-quiet", "-csv", dir,
 		"-out", filepath.Join(dir, "scaling.sweep.json"),
@@ -55,13 +56,13 @@ func TestRunScalingSmoke(t *testing.T) {
 // silently ignored flag).
 func TestRunAblationCores(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-ablation", "-cores", "8", "-cycles", "40000"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-ablation", "-cores", "8", "-cycles", "40000"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "ammp ammp parser parser") {
 		t.Errorf("ablation did not widen the workload:\n%s", out.String())
 	}
-	if err := run([]string{"-ablation", "-cores", "4,8"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-ablation", "-cores", "4,8"}, io.Discard, io.Discard); err == nil {
 		t.Error("ablation accepted a core-count list")
 	}
 }
@@ -79,7 +80,7 @@ func TestRunFlagErrors(t *testing.T) {
 		"bad scheme":         {"-schemes", "NOPE", "-cycles", "1000"},
 	}
 	for name, args := range cases {
-		if err := run(args, io.Discard, io.Discard); err == nil {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s: run(%v) succeeded", name, args)
 		}
 	}
@@ -89,7 +90,7 @@ func TestRunFlagErrors(t *testing.T) {
 // is rejected.
 func TestRunFiguresReps(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-classes", "C1", "-schemes", "SNUG", "-cycles", "60000", "-reps", "2", "-quiet",
 	}, &out, io.Discard)
 	if err != nil {
@@ -100,10 +101,10 @@ func TestRunFiguresReps(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
-	if err := run([]string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
 		t.Error("-reps 0 accepted")
 	}
-	if err := run([]string{"-ablation", "-reps", "2"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-ablation", "-reps", "2"}, io.Discard, io.Discard); err == nil {
 		t.Error("-ablation silently accepted -reps (no replication support there)")
 	}
 }

@@ -16,14 +16,27 @@
 //	snugsim -scheme L2P,SNUG -workload 4xammp -reps 5  # mean ±95% CI
 //	snugsim -scheme SNUG -workload 8xammp              # 8-core scale-out
 //	snugsim -replay=false ...                          # regenerate streams live per scheme
+//	snugsim -scheme L2P,SNUG -workload 4xammp -out runs.jsonl  # checkpoint completed runs
+//	snugsim ... -out runs.jsonl -resume                # continue an interrupted sweep
+//	snugsim ... -failpolicy continue -retries 3        # run everything, retry failures
+//	snugsim ... -out runs.jsonl -resume -salvage       # quarantine corrupt checkpoint lines
+//	snugsim ... -inject panic:0.02,err:0.05,putfail:0.01  # deterministic chaos testing
 //	snugsim -list
 //
 // Scheme comparisons record the workload's instruction streams once and
 // replay them to every scheme (-replay, default on) — the same streams the
 // live generators would produce, so results are bit-identical either way.
+//
+// On SIGINT/SIGTERM the sweep stops dispatching, drains and checkpoints
+// in-flight runs, prints a resume hint, and exits 130; a second signal
+// exits immediately. Exit codes: 0 success, 1 error, 3 completed with job
+// failures under -failpolicy continue, 130 interrupted. See DESIGN.md
+// "Failure model".
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,9 +44,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"snug/internal/cli"
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/faults"
 	"snug/internal/prof"
 	"snug/internal/stats"
 	"snug/internal/sweep"
@@ -42,19 +58,23 @@ import (
 )
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	ctx, stop := cli.SignalContext("snugsim", os.Stderr)
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
 	if errors.Is(err, flag.ErrHelp) {
 		return // -h/-help: usage already printed, a successful exit
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snugsim:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 // run executes the command with the given arguments; main is a thin
-// wrapper so tests can drive the full flag-to-output path.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+// wrapper so tests can drive the full flag-to-output path. Canceling ctx
+// (main wires it to SIGINT/SIGTERM) drains and checkpoints in-flight runs
+// before run returns.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("snugsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scheme := fs.String("scheme", "SNUG",
@@ -71,6 +91,14 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	epoch := fs.Int64("epoch", 0, "epoch-engine run-ahead window in cycles (0 = adaptive, negative = fixed default); affects scheduling only, never results")
 	budget := fs.Int("cpubudget", 0, "cap on concurrent simulation goroutines shared by -par workers and the -intra engine (0 = GOMAXPROCS); affects scheduling only, never results")
 	seed := fs.Uint64("seed", 0, "override simulation seed (0 = default)")
+	out := fs.String("out", "", "sweep results store: completed runs are checkpointed here as JSON lines")
+	resume := fs.Bool("resume", false, "resume from -out, skipping runs already checkpointed")
+	failpolicy := fs.String("failpolicy", "fast", "response to failed runs: \"fast\" stops at the first failure, \"continue\" runs every scheme and aggregates failures (exit code 3)")
+	retries := fs.Int("retries", 0, "re-run a failed run up to this many times with the same seed (transient faults only; deterministic failures repeat)")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial delay before a retry, doubling per attempt (capped)")
+	salvage := fs.Bool("salvage", false, "open the -out checkpoint in salvage mode: quarantine corrupt lines to <out>.quarantine and rerun their jobs instead of refusing to resume")
+	syncEvery := fs.Int("sync", 0, "fsync the checkpoint every N completed runs (0 = leave durability to the OS)")
+	inject := fs.String("inject", "", "deterministic fault injection spec, e.g. \"panic:0.02,err:0.05,putfail:0.01\" (chaos testing; results are unaffected)")
 	list := fs.Bool("list", false, "list benchmarks, combos and schemes, then exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,6 +130,30 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 	if *reps < 1 {
 		return fmt.Errorf("-reps %d: replicate count must be at least 1", *reps)
+	}
+	policy, err := cli.ParseFailurePolicy(*failpolicy)
+	if err != nil {
+		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d: retry count must be non-negative", *retries)
+	}
+	injectSpec, err := faults.ParseSpec(*inject)
+	if err != nil {
+		return err
+	}
+	if *resume && *out == "" {
+		return fmt.Errorf("-resume requires -out")
+	}
+	if *salvage && *out == "" {
+		return fmt.Errorf("-salvage requires -out")
+	}
+	if *out != "" && !*resume {
+		// Never silently destroy prior results (same contract as
+		// cmd/experiments).
+		if st, err := os.Stat(*out); err == nil && st.Size() > 0 {
+			return fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or delete it for a fresh sweep", *out)
+		}
 	}
 	cfg := config.Default()
 	if *scale {
@@ -165,11 +217,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			},
 		})
 	}
-	results, err := sweep.Run(sweep.Options{
-		Parallelism: *par, CPUBudget: *budget, BaseSeed: cfg.Seed, Replicates: *reps,
-	}, jobs)
+	fp, err := storeFingerprint(cfg, bench, *cycles)
 	if err != nil {
 		return err
+	}
+	results, err := sweep.Run(ctx, sweep.Options{
+		Parallelism: *par, CPUBudget: *budget, BaseSeed: cfg.Seed, Replicates: *reps,
+		Checkpoint: *out, Salvage: *salvage, Sync: *syncEvery, Fingerprint: fp,
+		FailurePolicy: policy,
+		Retry:         sweep.RetrySpec{Attempts: *retries, Backoff: *backoff},
+		PutHook:       injectSpec.PutHook(cfg.Seed),
+	}, injectSpec.Wrap(cfg.Seed, jobs))
+	if err != nil {
+		cli.ResumeHint(err, stderr, "snugsim", *out)
+		return cli.WrapCompleted(err, policy == sweep.ContinueOnError)
 	}
 
 	if *reps > 1 {
@@ -229,6 +290,21 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		r.Bus.Count(0), r.Bus.Count(1), r.Bus.Count(2), r.Bus.BusyCycles, r.Bus.WaitCycles)
 	fmt.Fprintf(stdout, "dram: reads=%d writes=%d\n", r.DRAM.Reads, r.DRAM.Writes)
 	return nil
+}
+
+// storeFingerprint identifies everything that changes a run's stored
+// result — the system configuration (seed, geometry, spill percent), the
+// workload and the run length — so a -out checkpoint refuses to mix
+// results across configurations on -resume. Scheme specs are checkpoint
+// keys, not fingerprint material: a store warmed with some schemes serves
+// a later comparison adding more.
+func storeFingerprint(cfg config.System, bench []string, cycles int64) (string, error) {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("fingerprint config: %w", err)
+	}
+	return fmt.Sprintf("snugsim/v1/cycles=%d/workload=%s/cfg=%016x",
+		cycles, strings.Join(bench, "+"), stats.HashString(string(cfgJSON))), nil
 }
 
 // splitSpecs splits a comma-separated scheme list into trimmed spec

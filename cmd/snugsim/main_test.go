@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"io"
@@ -14,7 +15,7 @@ import (
 // TestRunSingleScheme drives one tiny simulation end to end.
 func TestRunSingleScheme(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestRunSingleScheme(t *testing.T) {
 // including a parameterized CC, on an 8-core scale-out workload.
 func TestRunComparisonWithSpecs(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-scheme", "L2P,CC(75%)", "-workload", "8xgzip", "-cycles", "50000"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-scheme", "L2P,CC(75%)", "-workload", "8xgzip", "-cycles", "50000"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRunComparisonWithSpecs(t *testing.T) {
 func TestRunProfileFlags(t *testing.T) {
 	dir := t.TempDir()
 	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
-	err := run([]string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000",
+	err := run(context.Background(), []string{"-scheme", "L2P", "-workload", "4xgzip", "-cycles", "50000",
 		"-cpuprofile", cpu, "-memprofile", mem}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +60,7 @@ func TestRunProfileFlags(t *testing.T) {
 			t.Errorf("profile %s is empty", p)
 		}
 	}
-	if err := run([]string{"-cycles", "1000", "-cpuprofile", dir + "/no/such/dir/cpu.out"},
+	if err := run(context.Background(), []string{"-cycles", "1000", "-cpuprofile", dir + "/no/such/dir/cpu.out"},
 		io.Discard, io.Discard); err == nil {
 		t.Error("uncreatable -cpuprofile path accepted")
 	}
@@ -68,7 +69,7 @@ func TestRunProfileFlags(t *testing.T) {
 // TestRunList prints the registry-backed scheme list.
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"benchmarks:", "CC DSR L2P L2S SNUG", "4xammp"} {
@@ -81,7 +82,7 @@ func TestRunList(t *testing.T) {
 // TestHelpIsNotAnError: -h surfaces flag.ErrHelp, which main maps to a
 // successful exit (usage is not a failure).
 func TestHelpIsNotAnError(t *testing.T) {
-	if err := run([]string{"-h"}, io.Discard, io.Discard); !errors.Is(err, flag.ErrHelp) {
+	if err := run(context.Background(), []string{"-h"}, io.Discard, io.Discard); !errors.Is(err, flag.ErrHelp) {
 		t.Errorf("run(-h) = %v, want flag.ErrHelp", err)
 	}
 }
@@ -142,7 +143,7 @@ func TestRunFlagErrors(t *testing.T) {
 		"bad width":       {"-workload", "gzip,gzip", "-cycles", "1000"},
 	}
 	for name, args := range cases {
-		if err := run(args, io.Discard, io.Discard); err == nil {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s: run(%v) succeeded", name, args)
 		}
 	}
@@ -152,7 +153,7 @@ func TestRunFlagErrors(t *testing.T) {
 // independently-seeded replicates; -reps 0 is rejected.
 func TestRunReplicates(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-scheme", "L2P,SNUG", "-workload", "4xgzip", "-cycles", "50000", "-reps", "3"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-scheme", "L2P,SNUG", "-workload", "4xgzip", "-cycles", "50000", "-reps", "3"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRunReplicates(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
-	if err := run([]string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-reps", "0"}, io.Discard, io.Discard); err == nil {
 		t.Error("-reps 0 accepted")
 	}
 }

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"snug/internal/addr"
@@ -200,7 +201,7 @@ func FigureMetric(b *testing.B, metric metrics.MetricKind) {
 	var avg map[string]float64
 	for i := 0; i < b.N; i++ {
 		// Parallelism 0 = GOMAXPROCS, via the sweep engine's default.
-		ev, err := experiments.Evaluate(experiments.Options{
+		ev, err := experiments.Evaluate(context.Background(), experiments.Options{
 			Cfg: config.TestScale(), RunCycles: Cycles,
 		})
 		if err != nil {

@@ -1,0 +1,129 @@
+// Package cli carries the pieces shared by the command-line front ends
+// (cmd/experiments, cmd/snugsim): signal-driven graceful cancellation,
+// failure-policy flag parsing, and error-to-exit-code classification.
+//
+// The contract (README §"Interrupting and resuming"): the first
+// SIGINT/SIGTERM cancels the command's context — the sweep engine stops
+// dispatching, drains and checkpoints in-flight jobs — and the command
+// exits ExitInterrupted with a resume hint; a second signal exits
+// immediately. A ContinueOnError sweep that ran every job but saw failures
+// exits ExitJobFailures, distinguishable from ExitError's
+// nothing-useful-happened failures.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"snug/internal/sweep"
+)
+
+// Exit codes of both commands.
+const (
+	ExitOK          = 0   // success
+	ExitError       = 1   // usage or execution error
+	ExitJobFailures = 3   // sweep completed under ContinueOnError, some jobs failed
+	ExitInterrupted = 130 // canceled by SIGINT/SIGTERM (128 + SIGINT)
+)
+
+// SignalContext returns a context canceled by the first SIGINT/SIGTERM
+// (announcing the drain on stderr) and a stop function releasing the
+// handler. A second signal exits the process immediately with
+// ExitInterrupted, skipping the drain.
+func SignalContext(name string, stderr io.Writer) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "%s: %v — stopping dispatch, draining and checkpointing in-flight runs (interrupt again to exit immediately)\n", name, sig)
+		cancel(&signalError{sig: sig})
+		if _, ok := <-ch; ok {
+			os.Exit(ExitInterrupted)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel(nil)
+	}
+}
+
+// signalError is the cancellation cause set by SignalContext. The sweep
+// engine wraps context.Cause(ctx) into its returned error, so the cause
+// itself must satisfy errors.Is(err, context.Canceled) for ExitCode and
+// ResumeHint to classify the chain as an interruption while the message
+// still names the signal.
+type signalError struct{ sig os.Signal }
+
+func (e *signalError) Error() string        { return e.sig.String() }
+func (e *signalError) Is(target error) bool { return target == context.Canceled }
+
+// Completed marks a command error whose run still executed every job
+// (FailPolicy continue): the work finished, some cells failed. ExitCode
+// maps it to ExitJobFailures.
+type Completed struct{ Err error }
+
+func (c *Completed) Error() string { return c.Err.Error() }
+func (c *Completed) Unwrap() error { return c.Err }
+
+// ExitCode classifies a command error into the exit codes above.
+// Interruption wins over job failures: a canceled ContinueOnError sweep
+// did not run everything, so it must exit as interrupted.
+func ExitCode(err error) int {
+	var done *Completed
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.Canceled):
+		return ExitInterrupted
+	case errors.As(err, &done):
+		return ExitJobFailures
+	default:
+		return ExitError
+	}
+}
+
+// WrapCompleted marks err as Completed when the failure policy ran every
+// job (continueOnError) and the error is job failures rather than an
+// interruption or a setup problem.
+func WrapCompleted(err error, continueOnError bool) error {
+	if err == nil || !continueOnError {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || len(sweep.JobErrors(err)) == 0 {
+		return err
+	}
+	return &Completed{Err: err}
+}
+
+// ParseFailurePolicy parses the -failpolicy flag: "fast" (stop at the
+// first failure, the default) or "continue" (run every job, aggregate
+// failures, exit ExitJobFailures).
+func ParseFailurePolicy(s string) (sweep.FailurePolicy, error) {
+	switch s {
+	case "", "fast":
+		return sweep.FailFast, nil
+	case "continue":
+		return sweep.ContinueOnError, nil
+	default:
+		return 0, fmt.Errorf("-failpolicy %q: want \"fast\" or \"continue\"", s)
+	}
+}
+
+// ResumeHint prints the interrupted-sweep resume hint when the error is an
+// interruption and a checkpoint store was in use.
+func ResumeHint(err error, stderr io.Writer, name, out string) {
+	if err == nil || out == "" || !errors.Is(err, context.Canceled) {
+		return
+	}
+	fmt.Fprintf(stderr, "%s: interrupted — completed runs are checkpointed; resume with -out %s -resume\n", name, out)
+}

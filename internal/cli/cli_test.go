@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"snug/internal/sweep"
+)
+
+// interruptedChain mirrors what a command sees after a signal: the sweep
+// engine wraps context.Cause(ctx) — the signalError set by SignalContext —
+// not context.Canceled itself.
+func interruptedChain() error {
+	return fmt.Errorf("sweep: interrupted (in-flight jobs drained and checkpointed): %w",
+		&signalError{sig: syscall.SIGINT})
+}
+
+// TestExitCode pins the classification table — in particular that a chain
+// wrapping the signal cause (not bare context.Canceled) still exits 130,
+// the regression the signalError.Is method exists to prevent.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"generic", errors.New("boom"), ExitError},
+		{"job failures", &Completed{Err: errors.New("2 jobs failed")}, ExitJobFailures},
+		{"signal chain", interruptedChain(), ExitInterrupted},
+		{"bare canceled", context.Canceled, ExitInterrupted},
+		{"interrupted wins over completed", &Completed{Err: interruptedChain()}, ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestResumeHint(t *testing.T) {
+	var buf bytes.Buffer
+	ResumeHint(interruptedChain(), &buf, "experiments", "sweep.json")
+	if !strings.Contains(buf.String(), "-out sweep.json -resume") {
+		t.Errorf("signal-interrupted run with a store printed %q, want a resume hint", buf.String())
+	}
+	for name, args := range map[string][2]interface{}{
+		"no store":     {interruptedChain(), ""},
+		"not canceled": {errors.New("boom"), "sweep.json"},
+	} {
+		var b bytes.Buffer
+		err, _ := args[0].(error)
+		ResumeHint(err, &b, "experiments", args[1].(string))
+		if b.Len() != 0 {
+			t.Errorf("%s: ResumeHint printed %q, want nothing", name, b.String())
+		}
+	}
+}
+
+func TestWrapCompleted(t *testing.T) {
+	jobErr := &sweep.JobError{Key: "k", Err: errors.New("boom")}
+	if _, ok := WrapCompleted(jobErr, true).(*Completed); !ok {
+		t.Error("job failure under ContinueOnError was not marked Completed")
+	}
+	if _, ok := WrapCompleted(jobErr, false).(*Completed); ok {
+		t.Error("FailFast error was marked Completed")
+	}
+	canceled := fmt.Errorf("job failed before cancel: %w", errors.Join(jobErr, interruptedChain()))
+	if _, ok := WrapCompleted(canceled, true).(*Completed); ok {
+		t.Error("interrupted sweep was marked Completed — it did not run everything")
+	}
+	if WrapCompleted(errors.New("setup"), true) == nil {
+		t.Error("setup error dropped")
+	}
+}
+
+func TestParseFailurePolicy(t *testing.T) {
+	for in, want := range map[string]sweep.FailurePolicy{
+		"": sweep.FailFast, "fast": sweep.FailFast, "continue": sweep.ContinueOnError,
+	} {
+		got, err := ParseFailurePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFailurePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFailurePolicy("bogus"); err == nil {
+		t.Error("ParseFailurePolicy accepted \"bogus\"")
+	}
+}
+
+// TestSignalContextCancelsAsCanceled delivers a real SIGINT and checks the
+// context cancels with a cause the rest of the chain classifies as an
+// interruption (the end-to-end contract behind exit code 130).
+func TestSignalContextCancelsAsCanceled(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, stop := SignalContext("test", &buf)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	cause := context.Cause(ctx)
+	if !errors.Is(cause, context.Canceled) {
+		t.Errorf("cancellation cause %v does not match context.Canceled — exit code and resume hint would misclassify", cause)
+	}
+	if got := ExitCode(fmt.Errorf("sweep: interrupted: %w", cause)); got != ExitInterrupted {
+		t.Errorf("ExitCode on the wrapped cause = %d, want %d", got, ExitInterrupted)
+	}
+	if !strings.Contains(buf.String(), "draining") {
+		t.Errorf("drain announcement missing from stderr: %q", buf.String())
+	}
+}

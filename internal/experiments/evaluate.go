@@ -8,13 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"strings"
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/faults"
 	"snug/internal/isa"
 	"snug/internal/metrics"
 	"snug/internal/schemes"
@@ -74,6 +75,20 @@ type Options struct {
 	// Like Engine, it never changes results and is excluded from
 	// fingerprints.
 	CPUBudget int
+	// FailurePolicy, Retry, Salvage and Sync pass straight through to the
+	// sweep engine's failure model (sweep.Options): fail-fast vs.
+	// run-everything on job failures, retry/backoff for transient faults,
+	// quarantine-and-continue for corrupt checkpoint lines, and the
+	// checkpoint fsync cadence. None of them can change results — retries
+	// reuse the job's identity-derived seed, and salvaged jobs simply rerun.
+	FailurePolicy sweep.FailurePolicy
+	Retry         sweep.RetrySpec
+	Salvage       bool
+	Sync          int
+	// Faults injects deterministic failures (internal/faults) into every
+	// job and checkpoint write, for chaos testing the failure model. The
+	// zero spec — the default — injects nothing.
+	Faults faults.Spec
 }
 
 // ComboResult is the outcome for one workload combination: the L2P
@@ -298,8 +313,10 @@ func (cr *ComboResult) collect(results map[string]cmp.RunResult, selected []stri
 // per §4.1). Simulations run concurrently but results are deterministic:
 // every run's seed derives from its combo identity via the sweep engine, so
 // a combo's schemes see identical instruction streams (paired comparisons)
-// and the output is bit-identical for any Parallelism.
-func Evaluate(opt Options) (*Evaluation, error) {
+// and the output is bit-identical for any Parallelism. Canceling ctx drains
+// and checkpoints in-flight runs, then returns the partial-progress error
+// (a later call with the same Checkpoint resumes).
+func Evaluate(ctx context.Context, opt Options) (*Evaluation, error) {
 	if opt.RunCycles <= 0 {
 		return nil, fmt.Errorf("experiments: RunCycles must be positive")
 	}
@@ -335,16 +352,21 @@ func Evaluate(opt Options) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := sweep.Run(sweep.Options{
+	results, err := sweep.Run(ctx, sweep.Options{
 		Parallelism:        opt.Parallelism,
 		CPUBudget:          opt.CPUBudget,
 		BaseSeed:           opt.Cfg.Seed,
 		Checkpoint:         opt.Checkpoint,
+		Salvage:            opt.Salvage,
+		Sync:               opt.Sync,
 		Fingerprint:        fp,
 		AcceptFingerprints: legacy,
 		Replicates:         reps,
+		FailurePolicy:      opt.FailurePolicy,
+		Retry:              opt.Retry,
+		PutHook:            opt.Faults.PutHook(opt.Cfg.Seed),
 		OnProgress:         opt.Progress,
-	}, jobs)
+	}, opt.Faults.Wrap(opt.Cfg.Seed, jobs))
 	if err != nil {
 		return nil, evalErr(err)
 	}
@@ -358,9 +380,12 @@ func Evaluate(opt Options) (*Evaluation, error) {
 }
 
 // evalErr renders a sweep failure with combo + run (+ replicate) context.
+// Only a lone *JobError gets the rewrite: an aggregate (ContinueOnError,
+// or an interruption alongside failures) passes through wrapped whole, so
+// no failure is silently collapsed into the first — each JobError inside
+// already carries its job key.
 func evalErr(err error) error {
-	var je *sweep.JobError
-	if errors.As(err, &je) {
+	if je, ok := err.(*sweep.JobError); ok {
 		base, rep := sweep.SplitReplicateKey(je.Key)
 		if combo, label, ok := strings.Cut(base, "/"); ok {
 			if rep > 0 {

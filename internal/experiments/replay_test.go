@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -38,10 +39,10 @@ func TestEvaluateReplayStoreByteIdentical(t *testing.T) {
 		dir := t.TempDir()
 		livePath := filepath.Join(dir, "live.json")
 		replayPath := filepath.Join(dir, "replay.json")
-		if _, err := Evaluate(replayOpts(t, livePath, true, reps)); err != nil {
+		if _, err := Evaluate(context.Background(), replayOpts(t, livePath, true, reps)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Evaluate(replayOpts(t, replayPath, false, reps)); err != nil {
+		if _, err := Evaluate(context.Background(), replayOpts(t, replayPath, false, reps)); err != nil {
 			t.Fatal(err)
 		}
 		live, err := os.ReadFile(livePath)
@@ -66,13 +67,13 @@ func TestEvaluateReplayResultsMatchParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paired full evaluations; skipped in -short")
 	}
-	serialLive, err := Evaluate(replayOpts(t, "", true, 1))
+	serialLive, err := Evaluate(context.Background(), replayOpts(t, "", true, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := replayOpts(t, "", false, 1)
 	opts.Parallelism = 4
-	parallelReplay, err := Evaluate(opts)
+	parallelReplay, err := Evaluate(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -33,7 +34,7 @@ func TestEvaluateReplicateKeys(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "reps.sweep.json")
 	opt := repOpts()
 	opt.Checkpoint = ckpt
-	if _, err := experiments.Evaluate(opt); err != nil {
+	if _, err := experiments.Evaluate(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(ckpt)
@@ -57,7 +58,7 @@ func TestEvaluateReplicateKeys(t *testing.T) {
 // per replicate, the figures gain finite confidence intervals, and a
 // single-replicate evaluation keeps CI-less output.
 func TestEvaluateReplicatesShape(t *testing.T) {
-	ev, err := experiments.Evaluate(repOpts())
+	ev, err := experiments.Evaluate(context.Background(), repOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestEvaluateReplicatesShape(t *testing.T) {
 
 	opt := repOpts()
 	opt.Replicates = 1
-	single, err := experiments.Evaluate(opt)
+	single, err := experiments.Evaluate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestEvaluateReplicatesDeterminism(t *testing.T) {
 	run := func(par int) experiments.ClassSeries {
 		opt := repOpts()
 		opt.Parallelism = par
-		ev, err := experiments.Evaluate(opt)
+		ev, err := experiments.Evaluate(context.Background(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestEvaluateReplicatesResume(t *testing.T) {
 	opt := repOpts()
 	opt.Replicates = 1
 	opt.Checkpoint = ckpt
-	single, err := experiments.Evaluate(opt)
+	single, err := experiments.Evaluate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestEvaluateReplicatesResume(t *testing.T) {
 	opt.Replicates = 3
 	var last sweep.Progress
 	opt.Progress = func(p sweep.Progress) { last = p }
-	replicated, err := experiments.Evaluate(opt)
+	replicated, err := experiments.Evaluate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestScalingReplicates(t *testing.T) {
 		opt := scalingOpts()
 		opt.Replicates = 2
 		opt.Parallelism = par
-		res, err := experiments.ScalingStudy(opt)
+		res, err := experiments.ScalingStudy(context.Background(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,13 +225,13 @@ func TestEvaluateLegacyFingerprint(t *testing.T) {
 	}
 	s.Close()
 
-	if _, err := experiments.Evaluate(opt); err != nil {
+	if _, err := experiments.Evaluate(context.Background(), opt); err != nil {
 		t.Errorf("store with the pre-version-token fingerprint rejected: %v", err)
 	}
 
 	// A genuinely different configuration must still be refused.
 	opt.RunCycles *= 2
-	if _, err := experiments.Evaluate(opt); err == nil {
+	if _, err := experiments.Evaluate(context.Background(), opt); err == nil {
 		t.Error("store from a different RunCycles accepted via the legacy path")
 	}
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
 	"snug/internal/cmp"
 	"snug/internal/config"
+	"snug/internal/faults"
 	"snug/internal/metrics"
 	"snug/internal/stats"
 	"snug/internal/sweep"
@@ -44,6 +46,16 @@ type ScalingOptions struct {
 	// 8+ cores) from multiplying goroutines past the host when the sweep
 	// itself is already parallel.
 	CPUBudget int
+	// FailurePolicy, Retry, Salvage, Sync and Faults have Options semantics:
+	// the sweep failure model (fail-fast vs. run-everything, retry/backoff,
+	// checkpoint salvage and fsync cadence) plus deterministic fault
+	// injection. ContinueOnError matters most here — a multi-hour study
+	// should not abandon every queued width because one cell failed.
+	FailurePolicy sweep.FailurePolicy
+	Retry         sweep.RetrySpec
+	Salvage       bool
+	Sync          int
+	Faults        faults.Spec
 }
 
 // ScalingPoint is the evaluation at one core count.
@@ -84,8 +96,9 @@ func scalingFingerprint(opt ScalingOptions) (fp string, legacy []string, err err
 // sweep. Seeds pair per (width, combo): scale-out combo names are unique
 // per width, so every scheme at one width sees identical instruction
 // streams while widths draw independent streams. Results are bit-identical
-// for any Parallelism.
-func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
+// for any Parallelism. Canceling ctx drains and checkpoints in-flight runs
+// before returning, like Evaluate.
+func ScalingStudy(ctx context.Context, opt ScalingOptions) (*ScalingResult, error) {
 	if opt.RunCycles <= 0 {
 		return nil, fmt.Errorf("experiments: RunCycles must be positive")
 	}
@@ -140,16 +153,21 @@ func ScalingStudy(opt ScalingOptions) (*ScalingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := sweep.Run(sweep.Options{
+	results, err := sweep.Run(ctx, sweep.Options{
 		Parallelism:        opt.Parallelism,
 		CPUBudget:          opt.CPUBudget,
 		BaseSeed:           opt.BaseCfg.Seed,
 		Checkpoint:         opt.Checkpoint,
+		Salvage:            opt.Salvage,
+		Sync:               opt.Sync,
 		Fingerprint:        fp,
 		AcceptFingerprints: legacy,
 		Replicates:         reps,
+		FailurePolicy:      opt.FailurePolicy,
+		Retry:              opt.Retry,
+		PutHook:            opt.Faults.PutHook(opt.BaseCfg.Seed),
 		OnProgress:         opt.Progress,
-	}, jobs)
+	}, opt.Faults.Wrap(opt.BaseCfg.Seed, jobs))
 	if err != nil {
 		return nil, evalErr(err)
 	}

@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -28,7 +29,7 @@ func scalingOpts() experiments.ScalingOptions {
 // TestScalingStudyShape checks the study's structure: one point per core
 // count, width-matched combos and runs, and a series row per width.
 func TestScalingStudyShape(t *testing.T) {
-	res, err := experiments.ScalingStudy(scalingOpts())
+	res, err := experiments.ScalingStudy(context.Background(), scalingOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestScalingStudyDeterminism(t *testing.T) {
 	run := func(par int) []experiments.ScalingPoint {
 		opt := scalingOpts()
 		opt.Parallelism = par
-		res, err := experiments.ScalingStudy(opt)
+		res, err := experiments.ScalingStudy(context.Background(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestScalingStudyResume(t *testing.T) {
 	opt := scalingOpts()
 	opt.CoreCounts = []int{4}
 	opt.Checkpoint = ckpt
-	first, err := experiments.ScalingStudy(opt)
+	first, err := experiments.ScalingStudy(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestScalingStudyResume(t *testing.T) {
 	opt.CoreCounts = []int{4, 8}
 	var last sweep.Progress
 	opt.Progress = func(p sweep.Progress) { last = p }
-	second, err := experiments.ScalingStudy(opt)
+	second, err := experiments.ScalingStudy(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,37 +132,37 @@ func TestScalingStudyValidation(t *testing.T) {
 
 	opt := base
 	opt.RunCycles = 0
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("zero RunCycles accepted")
 	}
 
 	opt = base
 	opt.CoreCounts = nil
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("empty core counts accepted")
 	}
 
 	opt = base
 	opt.CoreCounts = []int{4, 4}
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("duplicate core count accepted")
 	}
 
 	opt = base
 	opt.CoreCounts = []int{6}
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("invalid core count accepted")
 	}
 
 	opt = base
 	opt.BaseCfg.Cores = 8
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("non-quad base config accepted")
 	}
 
 	opt = base
 	opt.Schemes = []string{"NOPE"}
-	if _, err := experiments.ScalingStudy(opt); err == nil {
+	if _, err := experiments.ScalingStudy(context.Background(), opt); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -40,13 +41,13 @@ var (
 func evalFixture(t *testing.T) (c1, c2 *experiments.Evaluation) {
 	t.Helper()
 	evalOnce.Do(func() {
-		fixC1, evalErr = experiments.Evaluate(experiments.Options{
+		fixC1, evalErr = experiments.Evaluate(context.Background(), experiments.Options{
 			Cfg: config.TestScale(), RunCycles: fixtureC1Cycles, Classes: []string{"C1"},
 		})
 		if evalErr != nil {
 			return
 		}
-		fixC2, evalErr = experiments.Evaluate(experiments.Options{
+		fixC2, evalErr = experiments.Evaluate(context.Background(), experiments.Options{
 			Cfg: config.TestScale(), RunCycles: fixtureC2Cycles, Classes: []string{"C2"},
 		})
 	})
@@ -229,7 +230,7 @@ func TestIndexFlipAblation(t *testing.T) {
 
 	cfg := config.TestScale()
 	cfg.SNUG.IndexFlip = false
-	ev, err := experiments.Evaluate(experiments.Options{
+	ev, err := experiments.Evaluate(context.Background(), experiments.Options{
 		Cfg: cfg, RunCycles: fixtureC1Cycles, Classes: []string{"C1"},
 		Schemes: []string{"SNUG"},
 	})
@@ -253,7 +254,7 @@ func TestIndexFlipAblation(t *testing.T) {
 // engine's contract).
 func TestEvaluateDeterminism(t *testing.T) {
 	run := func(par int) []experiments.ComboResult {
-		ev, err := experiments.Evaluate(experiments.Options{
+		ev, err := experiments.Evaluate(context.Background(), experiments.Options{
 			Cfg: config.TestScale(), RunCycles: 120_000, Parallelism: par,
 			Classes: []string{"C1"}, Schemes: []string{"CC"},
 		})
@@ -276,13 +277,13 @@ func TestEvaluateResume(t *testing.T) {
 		Cfg: config.TestScale(), RunCycles: 120_000,
 		Classes: []string{"C1"}, Schemes: []string{"SNUG"}, Checkpoint: ckpt,
 	}
-	first, err := experiments.Evaluate(opts)
+	first, err := experiments.Evaluate(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var last sweep.Progress
 	opts.Progress = func(p sweep.Progress) { last = p }
-	second, err := experiments.Evaluate(opts)
+	second, err := experiments.Evaluate(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestEvaluateResume(t *testing.T) {
 
 	// Same store under different options must be rejected, not mixed.
 	opts.RunCycles = 240_000
-	if _, err := experiments.Evaluate(opts); err == nil {
+	if _, err := experiments.Evaluate(context.Background(), opts); err == nil {
 		t.Error("checkpoint from a different RunCycles accepted")
 	}
 }
@@ -305,7 +306,7 @@ func TestEvaluateResume(t *testing.T) {
 // existing sweep stores keep resuming.
 func TestEvaluateCheckpointKeys(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "keys.sweep.json")
-	_, err := experiments.Evaluate(experiments.Options{
+	_, err := experiments.Evaluate(context.Background(), experiments.Options{
 		Cfg: config.TestScale(), RunCycles: 60_000,
 		Classes: []string{"C1"}, Schemes: []string{"CC"}, Checkpoint: ckpt,
 	})
@@ -355,7 +356,7 @@ func TestFigureRaggedData(t *testing.T) {
 // TestEvaluateBaselineOnly: Schemes = ["L2P"] runs just the baseline (the
 // option's documentation says L2P always runs, so naming only it is valid).
 func TestEvaluateBaselineOnly(t *testing.T) {
-	ev, err := experiments.Evaluate(experiments.Options{
+	ev, err := experiments.Evaluate(context.Background(), experiments.Options{
 		Cfg: config.TestScale(), RunCycles: 120_000,
 		Classes: []string{"C1"}, Schemes: []string{"L2P"},
 	})
@@ -381,15 +382,15 @@ func TestEvaluateBaselineOnly(t *testing.T) {
 
 // TestEvaluateValidation covers option errors.
 func TestEvaluateValidation(t *testing.T) {
-	if _, err := experiments.Evaluate(experiments.Options{Cfg: config.TestScale()}); err == nil {
+	if _, err := experiments.Evaluate(context.Background(), experiments.Options{Cfg: config.TestScale()}); err == nil {
 		t.Error("zero RunCycles accepted")
 	}
-	if _, err := experiments.Evaluate(experiments.Options{
+	if _, err := experiments.Evaluate(context.Background(), experiments.Options{
 		Cfg: config.TestScale(), RunCycles: 1000, Classes: []string{"C9"},
 	}); err == nil {
 		t.Error("unknown class accepted")
 	}
-	if _, err := experiments.Evaluate(experiments.Options{
+	if _, err := experiments.Evaluate(context.Background(), experiments.Options{
 		Cfg: config.TestScale(), RunCycles: 1000, Schemes: []string{"NOPE"},
 	}); err == nil {
 		t.Error("unknown scheme accepted")

@@ -14,3 +14,12 @@ func TestStaleAllow(t *testing.T) {
 	linttest.RunAnalyzers(t, "testdata/staleallow",
 		[]*lint.Analyzer{lint.HotAlloc, lint.StaleAllow}, "hot")
 }
+
+// TestStaleAllowWallclock pairs staleallow with wallclock over a fixture
+// posing as the result-affecting sweep package: the sweep engine's
+// retry-backoff annotation is live there, and the same directive stranded
+// on a line without a clock read is stale.
+func TestStaleAllowWallclock(t *testing.T) {
+	linttest.RunAnalyzers(t, "testdata/staleallow",
+		[]*lint.Analyzer{lint.WallClock, lint.StaleAllow}, "snug/internal/sweep")
+}

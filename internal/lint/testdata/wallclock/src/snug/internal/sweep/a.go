@@ -32,6 +32,21 @@ func Progress(report func(time.Duration)) {
 	report(time.Since(start)) //snug:allow wallclock progress/ETA only, never feeds results
 }
 
+// BackoffSleep is the sanctioned retry-backoff pattern: an annotated
+// wall-clock timer whose sleep delays scheduling only — a retried job
+// reruns with the same identity-derived seed, so the timer can never feed
+// results. The unannotated equivalent is BadTimer above.
+func BackoffSleep(done <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d) //snug:allow wallclock retry backoff sleep; delays scheduling only, never feeds results
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
 // Types may mention time freely; only clock reads are flagged.
 type Snapshot struct {
 	Elapsed time.Duration

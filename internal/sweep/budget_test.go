@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -50,7 +51,7 @@ func TestSweepCPUBudgetNeverExceeded(t *testing.T) {
 	const budget = 3
 
 	cpubudget.ResetPeak()
-	capped, err := Run(Options{Parallelism: 4, CPUBudget: budget, BaseSeed: 7}, jobs)
+	capped, err := Run(context.Background(), Options{Parallelism: 4, CPUBudget: budget, BaseSeed: 7}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSweepCPUBudgetNeverExceeded(t *testing.T) {
 	}
 
 	cpubudget.ResetPeak()
-	wide, err := Run(Options{Parallelism: 2, CPUBudget: 32, BaseSeed: 7}, jobs)
+	wide, err := Run(context.Background(), Options{Parallelism: 2, CPUBudget: 32, BaseSeed: 7}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestSweepBudgetOneStoreByteIdentical(t *testing.T) {
 	onePath := filepath.Join(dir, "one.jsonl")
 	widePath := filepath.Join(dir, "wide.jsonl")
 
-	one, err := Run(Options{Parallelism: 1, CPUBudget: 1, Checkpoint: onePath, BaseSeed: 7}, jobs)
+	one, err := Run(context.Background(), Options{Parallelism: 1, CPUBudget: 1, Checkpoint: onePath, BaseSeed: 7}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Run(Options{Parallelism: 1, CPUBudget: 16, Checkpoint: widePath, BaseSeed: 7}, jobs)
+	wide, err := Run(context.Background(), Options{Parallelism: 1, CPUBudget: 16, Checkpoint: widePath, BaseSeed: 7}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

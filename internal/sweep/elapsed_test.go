@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,7 +30,7 @@ func TestElapsedNeverFeedsResults(t *testing.T) {
 				return cmp.RunResult{Scheme: key, Cycles: int64(seed >> 1)}, nil
 			}}
 		}
-		res, err := Run(Options{
+		res, err := Run(context.Background(), Options{
 			Parallelism: 1, // keep store append order identical across runs
 			BaseSeed:    7,
 			Checkpoint:  path,

@@ -1,0 +1,326 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snug/internal/cmp"
+)
+
+// TestPanicRecovered: a panicking job fails like an erroring one — the
+// process survives, the error carries the job key, the panic value and a
+// stack — and under ContinueOnError every other job still completes.
+func TestPanicRecovered(t *testing.T) {
+	jobs := fakeJobs(5)
+	jobs[2].Run = func(uint64) (cmp.RunResult, error) { panic("boom at job-02") }
+	res, err := Run(context.Background(), Options{
+		Parallelism: 2, FailurePolicy: ContinueOnError,
+	}, jobs)
+	if err == nil {
+		t.Fatal("panicking job produced no error")
+	}
+	jes := JobErrors(err)
+	if len(jes) != 1 || jes[0].Key != "job-02" {
+		t.Fatalf("JobErrors = %v, want one failure for job-02", jes)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *PanicError", err)
+	}
+	if pe.Value != "boom at job-02" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError carries value %v and %d stack bytes, want the panic value and a stack", pe.Value, len(pe.Stack))
+	}
+	if !strings.Contains(err.Error(), "job-02") || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error %q does not name the job and the panic", err)
+	}
+	if len(res) != 4 {
+		t.Errorf("got %d results, want the 4 surviving jobs", len(res))
+	}
+}
+
+// TestRetrySameSeed: every retry attempt runs with the job's same
+// identity-derived seed — retries can rescue transient faults but can
+// never change what a job computes.
+func TestRetrySameSeed(t *testing.T) {
+	var mu sync.Mutex
+	var seeds []uint64
+	job := Job{Key: "flaky", Run: func(seed uint64) (cmp.RunResult, error) {
+		mu.Lock()
+		seeds = append(seeds, seed)
+		n := len(seeds)
+		mu.Unlock()
+		switch n {
+		case 1:
+			return cmp.RunResult{}, errors.New("transient error")
+		case 2:
+			panic("transient panic")
+		}
+		return cmp.RunResult{Scheme: "flaky", Cycles: int64(seed >> 1)}, nil
+	}}
+	res, err := Run(context.Background(), Options{
+		BaseSeed: 42, Retry: RetrySpec{Attempts: 2},
+	}, []Job{job})
+	if err != nil {
+		t.Fatalf("retried job still failed: %v", err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("job ran %d attempts, want 3", len(seeds))
+	}
+	want := JobSeed(42, "flaky")
+	for i, s := range seeds {
+		if s != want {
+			t.Errorf("attempt %d ran with seed %#x, want the identity-derived %#x", i, s, want)
+		}
+	}
+	if got := res["flaky"].Cycles; got != int64(want>>1) {
+		t.Errorf("result Cycles = %d, want the same-seed %d", got, int64(want>>1))
+	}
+}
+
+// TestRetryExhausted: a deterministic failure fails every attempt and
+// surfaces after the retry budget, with the attempts counted.
+func TestRetryExhausted(t *testing.T) {
+	var attempts int
+	job := Job{Key: "doomed", Run: func(uint64) (cmp.RunResult, error) {
+		attempts++
+		return cmp.RunResult{}, errors.New("deterministic failure")
+	}}
+	_, err := Run(context.Background(), Options{Retry: RetrySpec{Attempts: 3}}, []Job{job})
+	if err == nil {
+		t.Fatal("exhausted retries produced no error")
+	}
+	if attempts != 4 {
+		t.Errorf("job ran %d attempts, want 1 + 3 retries", attempts)
+	}
+}
+
+// TestContinueOnErrorAggregates: every job runs, successes checkpoint, and
+// all failures return aggregated sorted by job key — deterministically,
+// whatever the completion order.
+func TestContinueOnErrorAggregates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	jobs := fakeJobs(6)
+	for _, i := range []int{4, 0, 2} {
+		key := jobs[i].Key
+		jobs[i].Run = func(uint64) (cmp.RunResult, error) {
+			return cmp.RunResult{}, fmt.Errorf("%s failed", key)
+		}
+	}
+	res, err := Run(context.Background(), Options{
+		Parallelism: 3, FailurePolicy: ContinueOnError, Checkpoint: path,
+	}, jobs)
+	if err == nil {
+		t.Fatal("failing jobs produced no error")
+	}
+	jes := JobErrors(err)
+	var keys []string
+	for _, je := range jes {
+		keys = append(keys, je.Key)
+	}
+	if want := []string{"job-00", "job-02", "job-04"}; !reflect.DeepEqual(keys, want) {
+		t.Errorf("aggregated failures %v, want %v sorted by key", keys, want)
+	}
+	if len(res) != 3 {
+		t.Errorf("got %d results, want the 3 successes", len(res))
+	}
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 3 {
+		t.Errorf("store holds %d results, want every success checkpointed", store.Len())
+	}
+}
+
+// TestFailFastStillSingleError: the default policy returns the lone
+// *JobError directly, as before the aggregation existed.
+func TestFailFastStillSingleError(t *testing.T) {
+	jobs := fakeJobs(4)
+	jobs[1].Run = func(uint64) (cmp.RunResult, error) { return cmp.RunResult{}, errors.New("boom") }
+	_, err := Run(context.Background(), Options{Parallelism: 1}, jobs)
+	if _, ok := err.(*JobError); !ok {
+		t.Fatalf("FailFast error is %T (%v), want a bare *JobError", err, err)
+	}
+}
+
+// TestCancellationDrains: canceling the context stops dispatch, drains and
+// checkpoints in-flight jobs, returns an error wrapping context.Canceled —
+// and a resumed run completes the sweep from the checkpoint.
+func TestCancellationDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := fakeJobs(10)
+	inner := jobs[3].Run
+	jobs[3].Run = func(seed uint64) (cmp.RunResult, error) {
+		cancel() // a SIGINT arriving while job-03 is in flight
+		return inner(seed)
+	}
+	res, err := Run(ctx, Options{Parallelism: 1, Checkpoint: path}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned %v, want a context.Canceled error", err)
+	}
+	if len(res) < 4 {
+		t.Errorf("canceled sweep kept %d results, want at least the 4 completed before and including the in-flight job", len(res))
+	}
+	if len(res) == 10 {
+		t.Error("canceled sweep ran all 10 jobs — cancellation stopped nothing")
+	}
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(res) {
+		t.Errorf("store holds %d results, drained sweep returned %d — in-flight work was not checkpointed", store.Len(), len(res))
+	}
+	store.Close()
+
+	resumed, err := Run(context.Background(), Options{Parallelism: 1, Checkpoint: path}, jobs)
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if len(resumed) != 10 {
+		t.Errorf("resumed sweep has %d results, want all 10", len(resumed))
+	}
+	fresh, err := Run(context.Background(), Options{Parallelism: 1}, fakeJobs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, fresh) {
+		t.Error("resumed results differ from an uninterrupted sweep")
+	}
+}
+
+// TestPutHookRetries: a transient checkpoint-write failure (the injected
+// kind) costs a retry, not the sweep; a permanent one fails the job's
+// checkpointing but keeps its computed result.
+func TestPutHookRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	fails := map[string]int{"job-01": 1} // first put of job-01 fails
+	var mu sync.Mutex
+	hook := func(key string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fails[key] > 0 {
+			fails[key]--
+			return errors.New("injected put failure")
+		}
+		return nil
+	}
+	res, err := Run(context.Background(), Options{
+		Parallelism: 1, Checkpoint: path, PutHook: hook,
+		Retry: RetrySpec{Attempts: 1},
+	}, fakeJobs(3))
+	if err != nil {
+		t.Fatalf("sweep with transient put failure: %v", err)
+	}
+	if len(res) != 3 {
+		t.Errorf("got %d results, want 3", len(res))
+	}
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 3 {
+		t.Errorf("store holds %d results, want 3 — the put retry did not converge", store.Len())
+	}
+	store.Close()
+
+	// Without retries a permanent put failure surfaces as the job's error,
+	// but the computed result is still returned.
+	path2 := filepath.Join(t.TempDir(), "sweep2.jsonl")
+	_, err = os.Stat(path2)
+	res, err = Run(context.Background(), Options{
+		Parallelism: 1, Checkpoint: path2,
+		PutHook: func(key string) error {
+			if key == "job-02" {
+				return errors.New("permanent put failure")
+			}
+			return nil
+		},
+	}, fakeJobs(3))
+	jes := JobErrors(err)
+	if len(jes) != 1 || jes[0].Key != "job-02" {
+		t.Fatalf("permanent put failure returned %v, want a job-02 *JobError", err)
+	}
+	if _, ok := res["job-02"]; !ok {
+		t.Error("job-02's computed result was dropped with its checkpoint failure")
+	}
+}
+
+// TestBackoffDelay: the retry backoff doubles per attempt and caps.
+func TestBackoffDelay(t *testing.T) {
+	r := RetrySpec{Attempts: 10, Backoff: 100 * time.Millisecond}
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := r.delay(i); got != want {
+			t.Errorf("delay(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := r.delay(40); got != BackoffCap {
+		t.Errorf("delay(40) = %v, want the cap %v (and no shift overflow)", got, BackoffCap)
+	}
+	if got := (RetrySpec{Attempts: 3}).delay(2); got != 0 {
+		t.Errorf("zero Backoff delay = %v, want immediate retry", got)
+	}
+}
+
+// TestEtaFor: the ETA estimator excludes restored jobs, clamps the
+// denominator to the in-flight count before the pipeline fills (the
+// restored-store slow-start), and degrades to zero when nothing is live
+// or nothing remains.
+func TestEtaFor(t *testing.T) {
+	cases := []struct {
+		name                       string
+		elapsed                    time.Duration
+		done, restored, total, par int
+		want                       time.Duration
+	}{
+		{"all restored, nothing live", time.Second, 100, 100, 200, 4, 0},
+		{"sweep complete", time.Minute, 200, 0, 200, 4, 0},
+		{"over-complete guard", time.Minute, 201, 0, 200, 4, 0},
+		// Steady state: 10 live jobs over 100s, 10 remaining → 100s.
+		{"steady state", 100 * time.Second, 10, 0, 20, 1, 100 * time.Second},
+		// First live completion after a big restore: 1 live over 10s with 4
+		// workers. The naive rate says 99 jobs × 10s = 990s; the in-flight
+		// clamp divides by min(par, live+remaining) = 4.
+		{"slow start after restore", 10 * time.Second, 101, 100, 200, 4, 10 * time.Second / 4 * 99},
+		// Tail: live count exceeds the worker clamp, measured rate wins.
+		{"tail", 90 * time.Second, 9, 0, 10, 4, 10 * time.Second},
+	}
+	for _, c := range cases {
+		if got := etaFor(c.elapsed, c.done, c.restored, c.total, c.par); got != c.want {
+			t.Errorf("%s: etaFor(%v, %d, %d, %d, %d) = %v, want %v",
+				c.name, c.elapsed, c.done, c.restored, c.total, c.par, got, c.want)
+		}
+	}
+}
+
+// TestCanceledBeforeStart: an already-canceled context runs nothing and
+// reports the interruption, but still restores from the checkpoint.
+func TestCanceledBeforeStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	jobs := fakeJobs(5)
+	if _, err := Run(context.Background(), Options{Parallelism: 1, Checkpoint: path}, jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Options{Parallelism: 1, Checkpoint: path}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled sweep returned %v, want context.Canceled", err)
+	}
+	if len(res) != 2 {
+		t.Errorf("pre-canceled sweep returned %d results, want the 2 restored", len(res))
+	}
+}

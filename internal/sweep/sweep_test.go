@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,7 +37,7 @@ func TestRunDeterminism(t *testing.T) {
 	jobs := fakeJobs(23)
 	var got []map[string]cmp.RunResult
 	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-		r, err := Run(Options{Parallelism: par, BaseSeed: 42}, jobs)
+		r, err := Run(context.Background(), Options{Parallelism: par, BaseSeed: 42}, jobs)
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}
@@ -77,7 +78,7 @@ func TestJobSeedIdentity(t *testing.T) {
 			return cmp.RunResult{}, nil
 		}
 	}
-	if _, err := Run(Options{Parallelism: 1, BaseSeed: 7}, jobs); err != nil {
+	if _, err := Run(context.Background(), Options{Parallelism: 1, BaseSeed: 7}, jobs); err != nil {
 		t.Fatal(err)
 	}
 	if seeds["combo/L2P"] != seeds["combo/SNUG"] {
@@ -95,7 +96,7 @@ func TestJobSeedIdentity(t *testing.T) {
 // finished jobs instead of rerunning them.
 func TestResumeSkipsCompleted(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
-	first, err := Run(Options{Parallelism: 2, Checkpoint: ckpt}, fakeJobs(6))
+	first, err := Run(context.Background(), Options{Parallelism: 2, Checkpoint: ckpt}, fakeJobs(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestResumeSkipsCompleted(t *testing.T) {
 		}
 	}
 	var last Progress
-	second, err := Run(Options{Parallelism: 2, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }}, jobs)
+	second, err := Run(context.Background(), Options{Parallelism: 2, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestErrorCancels(t *testing.T) {
 		}
 		jobs = append(jobs, j)
 	}
-	res, err := Run(Options{Parallelism: 1}, jobs)
+	res, err := Run(context.Background(), Options{Parallelism: 1}, jobs)
 	if err == nil {
 		t.Fatal("failing job did not surface an error")
 	}
@@ -171,14 +172,14 @@ func TestErrorCancels(t *testing.T) {
 // results; matching fingerprints resume normally.
 func TestFingerprintGuard(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
-	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a"}, fakeJobs(3)); err != nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: ckpt, Fingerprint: "cfg-a"}, fakeJobs(3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-b"}, fakeJobs(3)); err == nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: ckpt, Fingerprint: "cfg-b"}, fakeJobs(3)); err == nil {
 		t.Error("mismatched fingerprint accepted — results from different configurations would mix")
 	}
 	var last Progress
-	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a", OnProgress: func(p Progress) { last = p }}, fakeJobs(3)); err != nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: ckpt, Fingerprint: "cfg-a", OnProgress: func(p Progress) { last = p }}, fakeJobs(3)); err != nil {
 		t.Fatalf("matching fingerprint rejected: %v", err)
 	}
 	if last.Restored != 3 {
@@ -188,33 +189,33 @@ func TestFingerprintGuard(t *testing.T) {
 	// An old-format fingerprint listed in AcceptFingerprints resumes (a
 	// format rename, not a configuration change); others still fail.
 	var acc Progress
-	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-a"},
+	if _, err := Run(context.Background(), Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-a"},
 		OnProgress: func(p Progress) { acc = p }}, fakeJobs(3)); err != nil {
 		t.Fatalf("accepted legacy fingerprint rejected: %v", err)
 	}
 	if acc.Restored != 3 {
 		t.Errorf("legacy-fingerprint resume restored %d, want 3", acc.Restored)
 	}
-	if _, err := Run(Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-z"}}, fakeJobs(3)); err == nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: ckpt, Fingerprint: "cfg-a/v2", AcceptFingerprints: []string{"cfg-z"}}, fakeJobs(3)); err == nil {
 		t.Error("unlisted fingerprint accepted")
 	}
 
 	// A store with results but no header cannot prove its provenance.
 	legacy := filepath.Join(t.TempDir(), "legacy.json")
-	if _, err := Run(Options{Checkpoint: legacy}, fakeJobs(2)); err != nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: legacy}, fakeJobs(2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(Options{Checkpoint: legacy, Fingerprint: "cfg-a"}, fakeJobs(2)); err == nil {
+	if _, err := Run(context.Background(), Options{Checkpoint: legacy, Fingerprint: "cfg-a"}, fakeJobs(2)); err == nil {
 		t.Error("fingerprint-less store with results accepted for a fingerprinted sweep")
 	}
 }
 
 // TestJobValidation rejects duplicate and empty keys.
 func TestJobValidation(t *testing.T) {
-	if _, err := Run(Options{}, []Job{fakeJob("a", ""), fakeJob("a", "")}); err == nil {
+	if _, err := Run(context.Background(), Options{}, []Job{fakeJob("a", ""), fakeJob("a", "")}); err == nil {
 		t.Error("duplicate key accepted")
 	}
-	if _, err := Run(Options{}, []Job{fakeJob("", "")}); err == nil {
+	if _, err := Run(context.Background(), Options{}, []Job{fakeJob("", "")}); err == nil {
 		t.Error("empty key accepted")
 	}
 }
@@ -223,7 +224,7 @@ func TestJobValidation(t *testing.T) {
 // loads every intact entry; corruption elsewhere is an error.
 func TestStoreTornTail(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
-	if _, err := Run(Options{Parallelism: 1, Checkpoint: ckpt}, fakeJobs(3)); err != nil {
+	if _, err := Run(context.Background(), Options{Parallelism: 1, Checkpoint: ckpt}, fakeJobs(3)); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0)
@@ -284,7 +285,7 @@ func TestPutFailureKeepsResultAndContext(t *testing.T) {
 		return cmp.RunResult{Scheme: "poisoned", Cores: []cmp.CoreResult{{IPC: math.NaN()}}}, nil
 	}}
 	var last Progress
-	res, err := Run(Options{Parallelism: 1, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }},
+	res, err := Run(context.Background(), Options{Parallelism: 1, Checkpoint: ckpt, OnProgress: func(p Progress) { last = p }},
 		[]Job{fakeJob("ok", ""), poison})
 	if err == nil {
 		t.Fatal("Put failure did not surface an error")
@@ -383,7 +384,7 @@ func TestRunReplicates(t *testing.T) {
 			return cmp.RunResult{Scheme: key, Cycles: int64(seed >> 1)}, nil
 		}
 	}
-	res, err := Run(Options{Parallelism: 1, BaseSeed: 9, Replicates: 3}, jobs)
+	res, err := Run(context.Background(), Options{Parallelism: 1, BaseSeed: 9, Replicates: 3}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestRunReplicates(t *testing.T) {
 	}
 
 	// Determinism across worker counts, replicated.
-	again, err := Run(Options{Parallelism: 4, BaseSeed: 9, Replicates: 3}, jobs)
+	again, err := Run(context.Background(), Options{Parallelism: 4, BaseSeed: 9, Replicates: 3}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +420,7 @@ func TestRunReplicates(t *testing.T) {
 
 	// A key that already looks like a replicate would collide with the
 	// expansion; reject it up front.
-	if _, err := Run(Options{Replicates: 2}, []Job{fakeJob("a@r1", "")}); err == nil {
+	if _, err := Run(context.Background(), Options{Replicates: 2}, []Job{fakeJob("a@r1", "")}); err == nil {
 		t.Error("replicate-suffixed job key accepted under Replicates > 1")
 	}
 }
@@ -430,7 +431,7 @@ func TestRunReplicates(t *testing.T) {
 func TestRunReplicatesResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
 	jobs := fakeJobs(4)
-	if _, err := Run(Options{Parallelism: 2, Checkpoint: ckpt}, jobs); err != nil {
+	if _, err := Run(context.Background(), Options{Parallelism: 2, Checkpoint: ckpt}, jobs); err != nil {
 		t.Fatal(err)
 	}
 	var executed atomic.Int64
@@ -442,7 +443,7 @@ func TestRunReplicatesResume(t *testing.T) {
 		}
 	}
 	var last Progress
-	res, err := Run(Options{Parallelism: 2, Checkpoint: ckpt, Replicates: 3,
+	res, err := Run(context.Background(), Options{Parallelism: 2, Checkpoint: ckpt, Replicates: 3,
 		OnProgress: func(p Progress) { last = p }}, jobs)
 	if err != nil {
 		t.Fatal(err)
